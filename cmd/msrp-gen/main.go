@@ -1,0 +1,68 @@
+// Command msrp-gen generates workload graphs in the repository's text
+// format (see internal/graph/io.go) on stdout.
+//
+// Usage:
+//
+//	msrp-gen -family random -n 1000 -m 4000 -seed 7 > g.msrp
+//	msrp-gen -family grid -rows 20 -cols 50
+//	msrp-gen -family cycle -n 500
+//	msrp-gen -family chords -n 500 -chords 20
+//	msrp-gen -family pa -n 1000 -k 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"msrp/internal/graph"
+	"msrp/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "msrp-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		family = flag.String("family", "random", "random|grid|cycle|path|chords|pa|barbell")
+		n      = flag.Int("n", 100, "vertices")
+		m      = flag.Int("m", 0, "edges (random family; default 4n)")
+		rows   = flag.Int("rows", 10, "grid rows")
+		cols   = flag.Int("cols", 10, "grid cols")
+		chords = flag.Int("chords", 10, "chord count (chords family)")
+		k      = flag.Int("k", 3, "edges per arrival (pa family)")
+		bridge = flag.Int("bridge", 3, "bridge length (barbell family)")
+		seed   = flag.Uint64("seed", 1, "rng seed")
+	)
+	flag.Parse()
+
+	rng := xrand.New(*seed)
+	var g *graph.Graph
+	switch *family {
+	case "random":
+		edges := *m
+		if edges == 0 {
+			edges = 4 * *n
+		}
+		g = graph.RandomConnected(rng, *n, edges)
+	case "grid":
+		g = graph.Grid(*rows, *cols)
+	case "cycle":
+		g = graph.Cycle(*n)
+	case "path":
+		g = graph.Path(*n)
+	case "chords":
+		g = graph.CycleWithChords(rng, *n, *chords)
+	case "pa":
+		g = graph.PreferentialAttachment(rng, *n, *k)
+	case "barbell":
+		g = graph.Barbell(*n, *bridge)
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+	return graph.Encode(g, os.Stdout)
+}

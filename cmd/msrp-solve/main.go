@@ -1,0 +1,100 @@
+// Command msrp-solve reads a graph in the text format and prints
+// replacement path lengths from the given sources.
+//
+// Usage:
+//
+//	msrp-gen -family chords -n 200 | msrp-solve -sources 0,50,100
+//	msrp-solve -graph g.msrp -sources 0 -target 42
+//
+// Output is one line per (source, target, edge):
+//
+//	s=0 t=42 edge={7,42} d=5 replacement=9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"msrp/internal/graph"
+	msrpcore "msrp/internal/msrp"
+	"msrp/internal/rp"
+	"msrp/internal/ssrp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "msrp-solve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		path    = flag.String("graph", "-", "graph file in msrp text format ('-' = stdin)")
+		sources = flag.String("sources", "0", "comma-separated source vertices")
+		target  = flag.Int("target", -1, "restrict output to one target (-1 = all)")
+		seed    = flag.Uint64("seed", 1, "rng seed")
+		boost   = flag.Float64("boost", 4, "sampling boost (1 = paper constants)")
+		exact   = flag.Bool("exact", false, "deterministic exhaustive-near mode")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *path != "-" {
+		f, err := os.Open(*path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := graph.Decode(in)
+	if err != nil {
+		return err
+	}
+
+	var srcs []int32
+	for _, part := range strings.Split(*sources, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad source %q: %w", part, err)
+		}
+		srcs = append(srcs, int32(v))
+	}
+
+	p := ssrp.DefaultParams()
+	p.Seed = *seed
+	p.SampleBoost = *boost
+	p.ExhaustiveNear = *exact
+
+	results, _, err := msrpcore.Solve(g, srcs, p)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	for _, res := range results {
+		for t := int32(0); t < int32(g.NumVertices()); t++ {
+			if *target >= 0 && t != int32(*target) {
+				continue
+			}
+			if len(res.Len[t]) == 0 {
+				continue
+			}
+			edges := res.Tree.PathEdgesTo(t)
+			for i, e := range edges {
+				u, v := g.EdgeEndpoints(int(e))
+				repl := "inf"
+				if l := res.Len[t][i]; l != rp.Inf {
+					repl = strconv.Itoa(int(l))
+				}
+				fmt.Fprintf(out, "s=%d t=%d edge={%d,%d} d=%d replacement=%s\n",
+					res.Source, t, u, v, res.Tree.Dist[t], repl)
+			}
+		}
+	}
+	return nil
+}

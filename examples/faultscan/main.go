@@ -1,0 +1,124 @@
+// Fault-tolerance scan: a multi-source "most vital edges" audit of a
+// network, the σ-source scenario the paper's MSRP problem models.
+//
+// Setting: an operator runs σ ingress points (data centers). For every
+// ingress s, every service t, and every link e on the s→t route, the
+// replacement length d(s,t ⋄ e) says how much latency a failure of e
+// would add — or that it would disconnect the pair (NoPath). One MSRP
+// run answers all of it; this example aggregates the output into the
+// operator's risk report.
+//
+//	go run ./examples/faultscan
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"msrp"
+)
+
+func main() {
+	// A 260-vertex ring-and-chords backbone: high diameter, a few
+	// express links — the topology where replacement paths are long
+	// and the paper's far-edge machinery earns its keep.
+	g := msrp.GenerateCycleWithChords(7, 260, 9)
+	ingress := []int{0, 87, 173}
+
+	opts := msrp.DefaultOptions()
+	opts.SampleBoost = 8
+	opts.SuffixScale = 0.5
+	results, err := msrp.MultiSource(g, ingress, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Aggregate per-link worst-case stretch over all (ingress, target)
+	// pairs whose route crosses the link.
+	type linkKey struct{ u, v int32 }
+	type linkStat struct {
+		worstStretch int32
+		pairs        int
+		cuts         int // pairs this link disconnects
+	}
+	stats := make(map[linkKey]*linkStat)
+
+	for _, res := range results {
+		for t := 0; t < g.NumVertices(); t++ {
+			lens := res.Lengths(t)
+			if len(lens) == 0 {
+				continue
+			}
+			path := res.PathTo(t)
+			base := int32(res.Dist(t))
+			for i, l := range lens {
+				u, v := path[i], path[i+1]
+				if u > v {
+					u, v = v, u
+				}
+				st, ok := stats[linkKey{u, v}]
+				if !ok {
+					st = &linkStat{}
+					stats[linkKey{u, v}] = st
+				}
+				st.pairs++
+				if l == msrp.NoPath {
+					st.cuts++
+					continue
+				}
+				if stretch := l - base; stretch > st.worstStretch {
+					st.worstStretch = stretch
+				}
+			}
+		}
+	}
+
+	type ranked struct {
+		k linkKey
+		s *linkStat
+	}
+	var links []ranked
+	for k, s := range stats {
+		links = append(links, ranked{k, s})
+	}
+	sort.Slice(links, func(i, j int) bool {
+		a, b := links[i], links[j]
+		if a.s.cuts != b.s.cuts {
+			return a.s.cuts > b.s.cuts
+		}
+		if a.s.worstStretch != b.s.worstStretch {
+			return a.s.worstStretch > b.s.worstStretch
+		}
+		return a.s.pairs > b.s.pairs
+	})
+
+	fmt.Printf("scanned %d links carrying traffic for %d ingress points\n",
+		len(links), len(ingress))
+	fmt.Println("most vital links (by pairs cut, then worst added latency):")
+	for i, l := range links {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  {%3d,%3d}: on %4d routes, worst stretch +%d hops, disconnects %d pairs\n",
+			l.k.u, l.k.v, l.s.pairs, l.s.worstStretch, l.s.cuts)
+	}
+
+	// Spot queries through the oracle interface.
+	oracle, err := msrp.NewOracle(g, ingress, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := oracle.Result(ingress[0])
+	t := 130
+	path := res.PathTo(t)
+	if len(path) >= 2 {
+		u, v := int(path[0]), int(path[1])
+		l, err := oracle.Query(ingress[0], t, u, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nspot check: route %d→%d is %d hops; losing its first link {%d,%d} makes it %d\n",
+			ingress[0], t, res.Dist(t), u, v, l)
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a small graph, run the single-source replacement
+// path solver, and inspect the answers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"msrp"
+)
+
+func main() {
+	// A pentagon with one shortcut:
+	//
+	//	0 — 1 — 2
+	//	|    \  |
+	//	4 ———— 3
+	b := msrp.NewGraphBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := msrp.SingleSource(g, 0, msrp.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("replacement path lengths from source 0:")
+	for t := 0; t < g.NumVertices(); t++ {
+		if t == 0 {
+			continue
+		}
+		path := res.PathTo(t)
+		fmt.Printf("  target %d: shortest path %v (length %d)\n", t, path, res.Dist(t))
+		for i, l := range res.Lengths(t) {
+			u, v := path[i], path[i+1]
+			if l == msrp.NoPath {
+				fmt.Printf("    avoiding {%d,%d}: no replacement path\n", u, v)
+			} else {
+				fmt.Printf("    avoiding {%d,%d}: length %d\n", u, v, l)
+			}
+		}
+	}
+
+	// Single queries go through AvoidEdge.
+	l, err := res.AvoidEdge(2, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nd(0, 2, {0,1}) = %d (the detour 0-4-3-2)\n", l)
+}

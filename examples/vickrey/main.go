@@ -1,0 +1,80 @@
+// Vickrey pricing of network links — the application that motivated
+// replacement paths in the first place (Nisan–Ronen; Hershberger–Suri,
+// both cited in the paper's introduction).
+//
+// Setting: each edge of a routing network is owned by a selfish agent.
+// A VCG auction for carrying traffic from s to t pays the owner of each
+// edge e on the winning (shortest) path its *marginal value*:
+//
+//	payment(e) = d(s,t ⋄ e) − (d(s,t) − 1)
+//
+// i.e. how much the network would lose if e defected. Computing all
+// payments needs exactly the replacement path lengths this library
+// produces in one shot.
+//
+//	go run ./examples/vickrey
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"msrp"
+)
+
+func main() {
+	// A 12×18 grid "road network": every interior link has parallel
+	// detours, so payments stay small — except where the route is
+	// forced.
+	const rows, cols = 12, 18
+	g := msrp.GenerateGrid(rows, cols)
+	source := 0             // depot at the north-west corner
+	target := rows*cols - 1 // customer at the south-east corner
+
+	opts := msrp.DefaultOptions()
+	opts.SampleBoost = 6 // small network: make the w.h.p. guarantee near-certain
+	res, err := msrp.SingleSource(g, source, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	path := res.PathTo(target)
+	base := res.Dist(target)
+	fmt.Printf("shortest %d→%d route: %d hops\n", source, target, base)
+
+	type priced struct {
+		u, v    int32
+		payment int32
+	}
+	var payments []priced
+	for i, l := range res.Lengths(target) {
+		u, v := path[i], path[i+1]
+		if l == msrp.NoPath {
+			// A bridge owner could demand anything: flag it.
+			fmt.Printf("  edge {%d,%d} is a BRIDGE — monopoly link, no finite price\n", u, v)
+			continue
+		}
+		payments = append(payments, priced{u, v, l - (int32(base) - 1)})
+	}
+	sort.Slice(payments, func(i, j int) bool { return payments[i].payment > payments[j].payment })
+
+	fmt.Println("Vickrey payments along the route (highest first):")
+	for i, p := range payments {
+		if i >= 8 {
+			fmt.Printf("  ... and %d more edges at payment %d\n", len(payments)-i, p.payment)
+			break
+		}
+		fmt.Printf("  edge {%3d,%3d}: payment %d (replacement detour %d vs %d)\n",
+			p.u, p.v, p.payment, int32(base-1)+p.payment, base)
+	}
+
+	// Grid interior edges always have cheap parallel detours, so most
+	// payments are 1 (the replacement is two hops longer... paying the
+	// marginal hop). Try deleting columns to create expensive edges.
+	total := int32(0)
+	for _, p := range payments {
+		total += p.payment
+	}
+	fmt.Printf("total payments: %d (vs %d true path cost — the VCG overpayment)\n", total, base)
+}

@@ -1,0 +1,56 @@
+package msrp
+
+// Cross-cutting seed sweep: the whole public pipeline (multi-source,
+// varying σ, both assembly modes) against the brute-force oracle over
+// many independently seeded instances. This is the in-repo version of
+// cmd/msrp-verify, kept small enough for CI.
+
+import (
+	"testing"
+
+	"msrp/internal/graph"
+	msrpcore "msrp/internal/msrp"
+	"msrp/internal/naive"
+	"msrp/internal/rp"
+	"msrp/internal/ssrp"
+	"msrp/internal/xrand"
+)
+
+func TestFuzzSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep runs dozens of full solves")
+	}
+	const trials = 24
+	rng := xrand.New(20200519)
+	for trial := 0; trial < trials; trial++ {
+		n := 24 + rng.Intn(56)
+		m := n + rng.Intn(3*n)
+		g := graph.RandomConnected(rng, n, m)
+		sigma := 1 + rng.Intn(3)
+		seen := map[int32]bool{}
+		var sources []int32
+		for len(sources) < sigma {
+			s := int32(rng.Intn(n))
+			if !seen[s] {
+				seen[s] = true
+				sources = append(sources, s)
+			}
+		}
+		p := ssrp.DefaultParams()
+		p.Seed = rng.Uint64()
+		p.SampleBoost = 12
+		p.SuffixScale = 0.25
+		p.PaperBottleneck = trial%2 == 1 // alternate assembly modes
+		results, _, err := msrpcore.Solve(g, sources, p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, s := range sources {
+			want := naive.SSRP(g, s)
+			if d := rp.Diff(want, results[i]); d != "" {
+				t.Fatalf("trial %d (n=%d m=%d σ=%d mode=%v) source %d: %s",
+					trial, n, m, sigma, p.PaperBottleneck, s, d)
+			}
+		}
+	}
+}

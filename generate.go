@@ -1,0 +1,41 @@
+package msrp
+
+import (
+	"msrp/internal/graph"
+	"msrp/internal/xrand"
+)
+
+// Workload generators re-exported for examples, CLI tools, and
+// downstream users who want ready-made graph families. All randomized
+// generators are deterministic in the seed.
+
+// GenerateGrid returns the rows×cols grid graph (vertex r*cols+c at
+// row r, column c).
+func GenerateGrid(rows, cols int) *Graph {
+	return &Graph{g: graph.Grid(rows, cols)}
+}
+
+// GenerateCycle returns the cycle on n ≥ 3 vertices.
+func GenerateCycle(n int) *Graph { return &Graph{g: graph.Cycle(n)} }
+
+// GeneratePath returns the path graph on n vertices.
+func GeneratePath(n int) *Graph { return &Graph{g: graph.Path(n)} }
+
+// GenerateRandomConnected returns a connected random graph with n
+// vertices and exactly m ≥ n−1 edges.
+func GenerateRandomConnected(seed uint64, n, m int) *Graph {
+	return &Graph{g: graph.RandomConnected(xrand.New(seed), n, m)}
+}
+
+// GenerateCycleWithChords returns an n-cycle plus `chords` uniformly
+// random chords — the high-diameter family where the paper's far-edge
+// machinery does the most work.
+func GenerateCycleWithChords(seed uint64, n, chords int) *Graph {
+	return &Graph{g: graph.CycleWithChords(xrand.New(seed), n, chords)}
+}
+
+// GeneratePreferentialAttachment returns a Barabási–Albert style graph
+// (heavy-tailed degrees), n vertices with k edges per arrival.
+func GeneratePreferentialAttachment(seed uint64, n, k int) *Graph {
+	return &Graph{g: graph.PreferentialAttachment(xrand.New(seed), n, k)}
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("demo", "a", "bb", "ccc")
+	tb.Row(1, 2.5, "x")
+	tb.Row(100, 0.125, "yyyy")
+	var buf bytes.Buffer
+	tb.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "csv,a,bb,ccc") {
+		t.Fatal("missing csv header")
+	}
+	if !strings.Contains(out, "csv,100,0.125,yyyy") {
+		t.Fatal("missing csv row")
+	}
+}
+
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are seconds-long even in quick mode")
+	}
+	cfg := Config{Quick: true}
+	for _, ex := range All() {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := ex.Run(&buf, cfg); err != nil {
+				t.Fatalf("%s failed: %v", ex.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "csv,") {
+				t.Fatalf("%s produced no rows:\n%s", ex.ID, out)
+			}
+			// E6 carries a hard correctness claim: every "correct"
+			// cell must be true. (E5's claim is asserted separately in
+			// TestE5ReportsFullExactness.)
+			if ex.ID == "E6" && strings.Contains(out, "false") {
+				t.Fatalf("E6 reduction produced a wrong product:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestE5ReportsFullExactness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still run solvers")
+	}
+	var buf bytes.Buffer
+	if err := RunE5(&buf, Config{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "csv,") || strings.Contains(line, "exact%") {
+			continue
+		}
+		if !strings.HasSuffix(strings.TrimSpace(line), ",100") {
+			t.Fatalf("non-exact row: %q", line)
+		}
+	}
+}

@@ -1,0 +1,587 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"msrp/internal/bmm"
+	"msrp/internal/classic"
+	"msrp/internal/graph"
+	"msrp/internal/msrp"
+	"msrp/internal/naive"
+	"msrp/internal/preserver"
+	"msrp/internal/rp"
+	"msrp/internal/sample"
+	"msrp/internal/ssrp"
+	"msrp/internal/xrand"
+)
+
+// boosted returns parameters with raised sampling constants so the
+// w.h.p. guarantees are near-certain. Only used at small sizes (E5,
+// E6): the boost saturates the landmark sets, which is exact but
+// quadratically more expensive.
+func boosted(seed uint64) ssrp.Params {
+	p := ssrp.DefaultParams()
+	p.Seed = seed
+	p.SampleBoost = 8
+	p.SuffixScale = 0.5
+	return p
+}
+
+// mild returns parameters whose boost adapts to the instance so the
+// level-0 sampling probability stays ≤ ~0.25 (landmark sets stay
+// sublinear and the measured times reflect the algorithm's intended
+// regime). The boost never drops below the paper's constant 1.
+func mild(seed uint64, n, sigma int) ssrp.Params {
+	p := ssrp.DefaultParams()
+	p.Seed = seed
+	boost := math.Sqrt(float64(n)/float64(sigma)) / 16
+	if boost < 1 {
+		boost = 1
+	}
+	if boost > 4 {
+		boost = 4
+	}
+	p.SampleBoost = boost
+	return p
+}
+
+// paperParams returns the paper-faithful constants.
+func paperParams(seed uint64) ssrp.Params {
+	p := ssrp.DefaultParams()
+	p.Seed = seed
+	return p
+}
+
+// RunE1 — SSRP runtime scaling (Theorem 14). Sweeps n at two edge
+// densities and times the SSRP solver against the Õ(nm) delete-and-BFS
+// brute force and the Õ(nm) per-pair classical baseline.
+//
+// Reproduction target (see EXPERIMENTS.md): at laptop sizes the
+// baselines win on constants — the claim to validate is the *growth
+// model*. The t/model columns divide each measured time by its
+// predicted asymptotic count; the column that stays flat as n doubles
+// identifies the matching model (m√n + n² for SSRP, nm for both
+// baselines).
+func RunE1(w io.Writer, cfg Config) error {
+	type density struct {
+		name string
+		m    func(n int) int
+	}
+	densities := []density{
+		{"m=2n", func(n int) int { return 2 * n }},
+		{"m=8n", func(n int) int { return 8 * n }},
+	}
+	sizes := []int{400, 800, 1600, 3200}
+	if cfg.Quick {
+		sizes = []int{200, 400}
+	}
+	t := NewTable("E1: SSRP scaling (Theorem 14)",
+		"family", "n", "m", "ssrp", "naive", "classicPairs",
+		"ssrp/(m√n+n²)", "naive/nm")
+	for _, d := range densities {
+		for _, n := range sizes {
+			m := d.m(n)
+			g := graph.RandomConnected(xrand.New(uint64(n)), n, m)
+			var res *rp.Result
+			tSSRP := timed(func() {
+				var err error
+				res, _, err = ssrp.Solve(g, 0, mild(uint64(n)+1, n, 1))
+				if err != nil {
+					panic(err)
+				}
+			})
+			var nv *rp.Result
+			tNaive := timed(func() { nv = naive.SSRP(g, 0) })
+			tClassic := time.Duration(0)
+			if n <= 800 { // Õ(nm) with a log factor: brutal beyond this
+				tClassic = timed(func() { _ = classic.SSRPByPairs(g, 0) })
+			}
+			if mism, total := rp.CountMismatches(nv, res); mism != 0 {
+				fmt.Fprintf(w, "  note: %s n=%d: %d/%d entries inexact (sampling miss)\n",
+					d.name, n, mism, total)
+			}
+			fm, fn := float64(m), float64(n)
+			ssrpModel := fm*math.Sqrt(fn) + fn*fn
+			naiveModel := fn * fm
+			t.Row(d.name, n, m, tSSRP, tNaive, tClassic,
+				float64(tSSRP.Nanoseconds())/ssrpModel,
+				float64(tNaive.Nanoseconds())/naiveModel)
+		}
+	}
+	t.Print(w)
+	return nil
+}
+
+// RunE2 — MSRP σ-scaling (Theorem 1). Fixed graph, growing σ: MSRP in
+// one shot vs σ independent SSRP runs vs the brute force. The t/model
+// column (model m√(nσ) + σn², with the harness-size constant absorbed)
+// should stay flat while the baselines grow linearly in σ.
+func RunE2(w io.Writer, cfg Config) error {
+	n, m := 600, 2400
+	sigmas := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		n, m = 240, 960
+		sigmas = []int{1, 2, 4}
+	}
+	g := graph.RandomConnected(xrand.New(42), n, m)
+	t := NewTable("E2: MSRP σ-scaling (Theorem 1)",
+		"sigma", "msrp", "sigma_x_ssrp", "naive", "msrp/(m√(nσ)+σn²)", "exact")
+	for _, sigma := range sigmas {
+		sources := make([]int32, sigma)
+		for i := range sources {
+			sources[i] = int32(i * (n / sigma))
+		}
+		p := mild(7, n, sigma)
+		var mres []*rp.Result
+		tMSRP := timed(func() {
+			var err error
+			mres, _, err = msrp.Solve(g, sources, p)
+			if err != nil {
+				panic(err)
+			}
+		})
+		tSSRP := timed(func() {
+			for _, s := range sources {
+				if _, _, err := ssrp.Solve(g, s, p); err != nil {
+					panic(err)
+				}
+			}
+		})
+		tNaive := timed(func() { _ = naive.MSRP(g, sources) })
+		exact := true
+		for i, s := range sources {
+			want := naive.SSRP(g, s)
+			if mism, _ := rp.CountMismatches(want, mres[i]); mism != 0 {
+				exact = false
+			}
+		}
+		fm, fn, fs := float64(m), float64(n), float64(sigma)
+		model := fm*math.Sqrt(fn*fs) + fs*fn*fn
+		t.Row(sigma, tMSRP, tSSRP, tNaive,
+			float64(tMSRP.Nanoseconds())/model, exact)
+	}
+	t.Print(w)
+	return nil
+}
+
+// RunE3 — landmark family sizes (Lemma 4): measured |L_k| against the
+// expectation 4√(nσ)/2^k and the (1+log n) Chernoff envelope.
+func RunE3(w io.Writer, cfg Config) error {
+	configs := [][2]int{{2000, 1}, {2000, 4}, {8000, 1}, {8000, 16}}
+	trials := 20
+	if cfg.Quick {
+		configs = [][2]int{{1000, 1}, {1000, 4}}
+		trials = 8
+	}
+	t := NewTable("E3: landmark level sizes (Lemma 4)",
+		"n", "sigma", "k", "mean|L_k|", "E=4√(nσ)/2^k", "mean/E", "max_observed", "envelope")
+	rng := xrand.New(99)
+	for _, c := range configs {
+		n, sigma := c[0], c[1]
+		probe := sample.New(rng.Split(), n, sigma, 1, nil)
+		for k := 0; k <= probe.MaxK; k++ {
+			expected := 4 * math.Sqrt(float64(n)*float64(sigma)) / float64(int64(1)<<uint(k))
+			if expected < 4 {
+				continue // negligible tail levels
+			}
+			sum, maxSeen := 0, 0
+			for tr := 0; tr < trials; tr++ {
+				l := sample.New(rng.Split(), n, sigma, 1, nil)
+				s := l.Size(k)
+				sum += s
+				if s > maxSeen {
+					maxSeen = s
+				}
+			}
+			mean := float64(sum) / float64(trials)
+			envelope := (1 + math.Log2(float64(n))) * expected
+			t.Row(n, sigma, k, mean, expected, mean/expected, maxSeen, envelope)
+		}
+	}
+	t.Print(w)
+	return nil
+}
+
+// RunE4 — exactness at paper constants (Lemmas 9/12/13): run the
+// solvers with SampleBoost = 1 and report the per-entry mismatch rate
+// against brute force (guarantee: failure probability ≤ 1/n). A
+// deliberately *under-sampled* row (SuffixScale 0.3, so the suffix
+// thresholds shrink but the sampling stays at the paper density — a
+// weaker product than the lemmas require) shows the sampling is load-
+// bearing: its failure rate may be visibly nonzero.
+func RunE4(w io.Writer, cfg Config) error {
+	n := 1200
+	if cfg.Quick {
+		n = 400
+	}
+	rng := xrand.New(5)
+	type row struct {
+		name  string
+		g     *graph.Graph
+		p     ssrp.Params
+		multi bool
+	}
+	rows := []row{
+		{"random m=4n", graph.RandomConnected(rng, n, 4*n), paperParams(uint64(n)), false},
+		{"random m=4n σ=2", graph.RandomConnected(rng, n, 4*n), paperParams(uint64(n) + 1), true},
+		{"grid 2xN", graph.Grid(2, n/2), paperParams(uint64(n) + 2), false},
+		{"cycle", graph.Cycle(n), paperParams(uint64(n) + 3), false},
+	}
+	stressed := paperParams(uint64(n) + 4)
+	stressed.SuffixScale = 0.3
+	rows = append(rows, row{"cycle UNDER-SAMPLED (scale=0.3)", graph.Cycle(n), stressed, false})
+
+	t := NewTable("E4: exactness at paper constants (boost=1)",
+		"workload", "algo", "n", "entries", "mismatches", "rate", "bound_1/n")
+	for _, r := range rows {
+		nn := r.g.NumVertices()
+		if r.multi {
+			sources := []int32{0, int32(nn / 2)}
+			mres, _, err := msrp.Solve(r.g, sources, r.p)
+			if err != nil {
+				return err
+			}
+			mism, total := 0, 0
+			for i, s := range sources {
+				want := naive.SSRP(r.g, s)
+				mm, tt := rp.CountMismatches(want, mres[i])
+				mism += mm
+				total += tt
+			}
+			t.Row(r.name, "msrp σ=2", nn, total, mism,
+				float64(mism)/math.Max(float64(total), 1), 1/float64(nn))
+			continue
+		}
+		res, _, err := ssrp.Solve(r.g, 0, r.p)
+		if err != nil {
+			return err
+		}
+		want := naive.SSRP(r.g, 0)
+		mism, total := rp.CountMismatches(want, res)
+		t.Row(r.name, "ssrp", nn, total, mism,
+			float64(mism)/math.Max(float64(total), 1), 1/float64(nn))
+	}
+	t.Print(w)
+	return nil
+}
+
+// RunE5 — end-to-end exactness across graph families with boosted
+// constants: the reproduction's headline correctness table. Every cell
+// must read 100.
+func RunE5(w io.Writer, cfg Config) error {
+	scale := 1
+	if cfg.Quick {
+		scale = 2
+	}
+	rng := xrand.New(17)
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle", graph.Cycle(240 / scale)},
+		{"grid", graph.Grid(12/scale, 20)},
+		{"random sparse", graph.RandomConnected(rng, 240/scale, 480/scale)},
+		{"random dense", graph.RandomConnected(rng, 160/scale, 1600/scale)},
+		{"cycle+chords", graph.CycleWithChords(rng, 200/scale, 8)},
+		{"barbell", graph.Barbell(20/scale, 30/scale)},
+		{"pref-attach", graph.PreferentialAttachment(rng, 200/scale, 3)},
+		{"caterpillar", graph.Caterpillar(40/scale, 3)},
+	}
+	t := NewTable("E5: exactness across families (boosted constants)",
+		"family", "n", "m", "algo", "entries", "exact%")
+	for fi, f := range families {
+		n := f.g.NumVertices()
+		res, _, err := ssrp.Solve(f.g, 0, boosted(uint64(fi)+100))
+		if err != nil {
+			return err
+		}
+		want := naive.SSRP(f.g, 0)
+		mism, total := rp.CountMismatches(want, res)
+		t.Row(f.name, n, f.g.NumEdges(), "ssrp",
+			total, 100*float64(total-mism)/math.Max(float64(total), 1))
+
+		sources := []int32{0, int32(n / 3), int32(2 * n / 3)}
+		mres, err2 := solveMulti(f.g, sources, boosted(uint64(fi)+200))
+		if err2 != nil {
+			return err2
+		}
+		mismM, totalM := 0, 0
+		for i, s := range sources {
+			wantS := naive.SSRP(f.g, s)
+			mm, tt := rp.CountMismatches(wantS, mres[i])
+			mismM += mm
+			totalM += tt
+		}
+		t.Row(f.name, n, f.g.NumEdges(), "msrp σ=3",
+			totalM, 100*float64(totalM-mismM)/math.Max(float64(totalM), 1))
+	}
+	t.Print(w)
+	return nil
+}
+
+func solveMulti(g *graph.Graph, sources []int32, p ssrp.Params) ([]*rp.Result, error) {
+	res, _, err := msrp.Solve(g, sources, p)
+	return res, err
+}
+
+// RunE6 — the BMM reduction (Theorem 28): correctness of C = A×B via
+// MSRP, with the gadget dimensions and the timing split against the
+// direct combinatorial product (which wins by orders of magnitude, as
+// expected — the reduction's value is the equivalence, not speed).
+func RunE6(w io.Writer, cfg Config) error {
+	sizes := []int{24, 48}
+	densities := []float64{0.05, 0.25}
+	if cfg.Quick {
+		sizes = []int{16, 24}
+	}
+	t := NewTable("E6: BMM via MSRP reduction (Theorem 28)",
+		"n", "density", "sigma", "graphs", "gadget_verts", "correct", "t_reduction", "t_direct")
+	rng := xrand.New(31)
+	for _, n := range sizes {
+		for _, d := range densities {
+			a := bmm.Random(rng, n, d)
+			b := bmm.Random(rng, n, d)
+			var direct *bmm.Matrix
+			tDirect := timed(func() {
+				var err error
+				direct, err = bmm.Multiply(a, b)
+				if err != nil {
+					panic(err)
+				}
+			})
+			sigma := 2
+			var got *bmm.Matrix
+			var stats *bmm.ReductionStats
+			tRed := timed(func() {
+				var err error
+				got, stats, err = bmm.MultiplyViaMSRP(a, b, sigma, boosted(uint64(n)))
+				if err != nil {
+					panic(err)
+				}
+			})
+			t.Row(n, d, sigma, stats.NumGraphs, stats.GadgetVerts,
+				bmm.Equal(got, direct), tRed, tDirect)
+		}
+	}
+	t.Print(w)
+	return nil
+}
+
+// RunE7 — ablation of the paper's scaling trick (§3): leveled L_k
+// versus a flat landmark set for the far-edge stage, on a cycle whose
+// diameter activates several far bands. FarScans counts candidate
+// landmark probes: the leveled sets keep the per-target far work near
+// Õ(n); the flat set pays |L_0| on every far edge.
+func RunE7(w io.Writer, cfg Config) error {
+	n := 1000
+	if cfg.Quick {
+		n = 400
+	}
+	g := graph.Cycle(n)
+	p := paperParams(11)
+	p.SampleBoost = 2
+	p.SuffixScale = 0.1 // shrink X so several far bands exist at this n
+	t := NewTable("E7: scaling-trick ablation (§3)",
+		"mode", "n", "far_scans", "scan_ratio", "time", "exact")
+	var baseline int64
+	for _, flat := range []bool{false, true} {
+		pp := p
+		pp.FlatLandmarks = flat
+		var stats *ssrp.Stats
+		var res *rp.Result
+		d := timed(func() {
+			var err error
+			res, stats, err = ssrp.Solve(g, 0, pp)
+			if err != nil {
+				panic(err)
+			}
+		})
+		want := naive.SSRP(g, 0)
+		mism, _ := rp.CountMismatches(want, res)
+		mode := "leveled L_k"
+		if flat {
+			mode = "flat L_0"
+		} else {
+			baseline = stats.FarScans
+		}
+		ratio := 1.0
+		if baseline > 0 {
+			ratio = float64(stats.FarScans) / float64(baseline)
+		}
+		t.Row(mode, n, stats.FarScans, ratio, d, mism == 0)
+	}
+	t.Print(w)
+	return nil
+}
+
+// RunE8 — crossover map: the fastest algorithm per (n, σ) cell among
+// brute force, σ independent SSRP runs, and MSRP, on sparse random
+// graphs. At these sizes the winner column is expected to favour the
+// baselines (constants); the msrp/naive trend across σ is the signal.
+func RunE8(w io.Writer, cfg Config) error {
+	ns := []int{300, 600}
+	sigmas := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		ns = []int{200, 300}
+		sigmas = []int{1, 2, 4}
+	}
+	t := NewTable("E8: fastest algorithm per (n, σ)",
+		"n", "sigma", "naive", "sigma_x_ssrp", "msrp", "winner", "msrp/naive")
+	for _, n := range ns {
+		g := graph.RandomConnected(xrand.New(uint64(n)), n, 4*n)
+		for _, sigma := range sigmas {
+			sources := make([]int32, sigma)
+			for i := range sources {
+				sources[i] = int32(i * (n / sigma))
+			}
+			p := mild(5, n, sigma)
+			tNaive := timed(func() { _ = naive.MSRP(g, sources) })
+			tSSRP := timed(func() {
+				for _, s := range sources {
+					if _, _, err := ssrp.Solve(g, s, p); err != nil {
+						panic(err)
+					}
+				}
+			})
+			tMSRP := timed(func() {
+				if _, _, err := msrp.Solve(g, sources, p); err != nil {
+					panic(err)
+				}
+			})
+			winner := "naive"
+			switch {
+			case tMSRP <= tNaive && tMSRP <= tSSRP:
+				winner = "msrp"
+			case tSSRP <= tNaive:
+				winner = "ssrp×σ"
+			}
+			t.Row(n, sigma, tNaive, tSSRP, tMSRP, winner,
+				float64(tMSRP)/float64(tNaive))
+		}
+	}
+	t.Print(w)
+	return nil
+}
+
+// RunE9 — auxiliary graph sizes against the paper's formulas: §7.1
+// arcs = Õ(m√(n/σ)) (capped by m·diam), §8.1 nodes = Õ(n) per source,
+// §8.2 arcs = Õ(σn²) total.
+func RunE9(w io.Writer, cfg Config) error {
+	configs := [][2]int{{600, 1}, {600, 4}, {1200, 1}, {1200, 4}}
+	if cfg.Quick {
+		configs = [][2]int{{300, 1}, {300, 4}}
+	}
+	t := NewTable("E9: auxiliary graph sizes",
+		"n", "sigma", "small_nodes", "small_arcs", "sc_nodes", "sc_arcs",
+		"cl_nodes", "cl_arcs", "σn²")
+	for _, c := range configs {
+		n, sigma := c[0], c[1]
+		g := graph.CycleWithChords(xrand.New(uint64(n)), n, n/20)
+		sources := make([]int32, sigma)
+		for i := range sources {
+			sources[i] = int32(i * (n / sigma))
+		}
+		_, stats, err := msrp.Solve(g, sources, mild(uint64(n), n, sigma))
+		if err != nil {
+			return err
+		}
+		t.Row(n, sigma, stats.AuxNodes, stats.AuxArcs,
+			stats.SCNodes, stats.SCArcs, stats.CLNodes, stats.CLArcs,
+			int64(sigma)*int64(n)*int64(n))
+	}
+	t.Print(w)
+	return nil
+}
+
+// RunE10 — assembly-mode ablation: the default sound assembly
+// (interval avoidance + fixpoint sweeps) versus the paper's literal
+// §8.3 bottleneck machinery. Both should be exact on these workloads;
+// the table compares their time and auxiliary-graph footprints.
+func RunE10(w io.Writer, cfg Config) error {
+	n := 240
+	if cfg.Quick {
+		n = 120
+	}
+	rng := xrand.New(77)
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"random m=4n", graph.RandomConnected(rng, n, 4*n)},
+		{"cycle+chords", graph.CycleWithChords(rng, n, n/25)},
+		{"grid 2xN", graph.Grid(2, n/2)},
+	}
+	t := NewTable("E10: assembly-mode ablation (default vs paper §8.3)",
+		"workload", "mode", "time", "aux_nodes", "aux_arcs", "mismatches")
+	for _, wl := range workloads {
+		nn := wl.g.NumVertices()
+		sources := []int32{0, int32(nn / 2)}
+		for _, paper := range []bool{false, true} {
+			p := mild(uint64(nn), nn, len(sources))
+			p.PaperBottleneck = paper
+			var stats *msrp.Stats
+			var results []*rp.Result
+			d := timed(func() {
+				var err error
+				results, stats, err = msrp.Solve(wl.g, sources, p)
+				if err != nil {
+					panic(err)
+				}
+			})
+			mism := 0
+			for i, s := range sources {
+				want := naive.SSRP(wl.g, s)
+				mm, _ := rp.CountMismatches(want, results[i])
+				mism += mm
+			}
+			mode := "default"
+			nodes, arcs := stats.SCNodes+stats.CLNodes, stats.SCArcs+stats.CLArcs
+			if paper {
+				mode = "paper §8.3"
+				nodes += stats.BNNodes
+				arcs += stats.BNArcs
+			}
+			t.Row(wl.name, mode, d, nodes, arcs, mism)
+		}
+	}
+	t.Print(w)
+	return nil
+}
+
+// RunE11 — fault-tolerant preserver sizes (related work §1.1,
+// Parter–Peleg): edges of the replacement-path-derived single-source
+// preserver against the Θ(n^{3/2}) bound, across densities.
+func RunE11(w io.Writer, cfg Config) error {
+	sizes := []int{100, 200, 400}
+	if cfg.Quick {
+		sizes = []int{60, 120}
+	}
+	t := NewTable("E11: fault-tolerant BFS preserver size (Parter–Peleg bound)",
+		"family", "n", "m", "preserver_edges", "tree", "path", "n^1.5", "edges/n^1.5")
+	for _, n := range sizes {
+		rng := xrand.New(uint64(n))
+		families := []struct {
+			name string
+			g    *graph.Graph
+		}{
+			{"random m=4n", graph.RandomConnected(rng, n, 4*n)},
+			{"random dense m=n²/8", graph.RandomConnected(rng, n, n*n/8)},
+			{"cycle+chords", graph.CycleWithChords(rng, n, n/20+2)},
+		}
+		for _, f := range families {
+			p := boosted(uint64(n) + 7)
+			r, err := preserver.Build(f.g, 0, p)
+			if err != nil {
+				return err
+			}
+			bound := math.Pow(float64(n), 1.5)
+			t.Row(f.name, n, f.g.NumEdges(), len(r.Edges), r.TreeEdges, r.PathEdges,
+				bound, float64(len(r.Edges))/bound)
+		}
+	}
+	t.Print(w)
+	return nil
+}

@@ -1,0 +1,195 @@
+package bfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"msrp/internal/graph"
+	"msrp/internal/xrand"
+)
+
+func TestPathGraphDistances(t *testing.T) {
+	g := graph.Path(6)
+	tr := New(g, 0)
+	for v := 0; v < 6; v++ {
+		if tr.Dist[v] != int32(v) {
+			t.Fatalf("dist[%d] = %d", v, tr.Dist[v])
+		}
+	}
+	p := tr.PathTo(5)
+	want := []int32{0, 1, 2, 3, 4, 5}
+	if len(p) != len(want) {
+		t.Fatalf("path %v", p)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("path %v", p)
+		}
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4)
+	_ = b.AddEdge(0, 1)
+	g := b.MustBuild()
+	tr := New(g, 0)
+	if tr.Reachable(2) || tr.Reachable(3) {
+		t.Fatal("2,3 should be unreachable")
+	}
+	if tr.PathTo(2) != nil || tr.PathEdgesTo(3) != nil {
+		t.Fatal("paths to unreachable vertices should be nil")
+	}
+	if !tr.Reachable(1) || tr.Dist[1] != 1 {
+		t.Fatal("vertex 1 should be at distance 1")
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	rng := xrand.New(1)
+	g := graph.RandomConnected(rng, 60, 140)
+	tr := New(g, 7)
+	if tr.Dist[7] != 0 || tr.Parent[7] != -1 || tr.ParentEdge[7] != -1 {
+		t.Fatal("root labelling wrong")
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if v == 7 {
+			continue
+		}
+		p := tr.Parent[v]
+		if p < 0 {
+			t.Fatalf("vertex %d unreachable in connected graph", v)
+		}
+		if tr.Dist[v] != tr.Dist[p]+1 {
+			t.Fatalf("dist[%d]=%d but dist[parent=%d]=%d", v, tr.Dist[v], p, tr.Dist[p])
+		}
+		e := tr.ParentEdge[v]
+		a, b := g.EdgeEndpoints(int(e))
+		if !(a == v && b == p) && !(a == p && b == v) {
+			t.Fatalf("ParentEdge[%d]=%d does not connect %d and %d", v, e, v, p)
+		}
+		child, ok := tr.ChildEndpoint(g, e)
+		if !ok || child != v {
+			t.Fatalf("ChildEndpoint(edge %d) = %d,%v want %d", e, child, ok, v)
+		}
+	}
+}
+
+func TestDistancesAreShortest(t *testing.T) {
+	// BFS distance must satisfy |d(u) - d(v)| <= 1 across every edge and
+	// equal the true metric (checked by edge relaxation fixed point).
+	rng := xrand.New(2)
+	g := graph.GNM(rng, 50, 120)
+	tr := New(g, 0)
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.EdgeEndpoints(e)
+		du, dv := tr.Dist[u], tr.Dist[v]
+		if du == Unreachable || dv == Unreachable {
+			if du != dv {
+				t.Fatalf("edge {%d,%d} spans reachable/unreachable", u, v)
+			}
+			continue
+		}
+		diff := du - dv
+		if diff < -1 || diff > 1 {
+			t.Fatalf("edge {%d,%d}: dist gap %d", u, v, diff)
+		}
+	}
+}
+
+func TestOrderIsByDistance(t *testing.T) {
+	rng := xrand.New(3)
+	g := graph.RandomConnected(rng, 80, 200)
+	tr := New(g, 5)
+	for i := 1; i < len(tr.Order); i++ {
+		if tr.Dist[tr.Order[i]] < tr.Dist[tr.Order[i-1]] {
+			t.Fatal("Order not sorted by distance")
+		}
+	}
+	if len(tr.Order) != g.NumVertices() {
+		t.Fatalf("Order covers %d of %d vertices", len(tr.Order), g.NumVertices())
+	}
+}
+
+func TestPathEdgesMatchPath(t *testing.T) {
+	rng := xrand.New(4)
+	g := graph.RandomConnected(rng, 40, 90)
+	tr := New(g, 0)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		p := tr.PathTo(v)
+		es := tr.PathEdgesTo(v)
+		if len(es) != len(p)-1 {
+			t.Fatalf("vertex %d: %d edges for %d vertices", v, len(es), len(p))
+		}
+		for i, e := range es {
+			a, b := g.EdgeEndpoints(int(e))
+			if !(a == p[i] && b == p[i+1]) && !(a == p[i+1] && b == p[i]) {
+				t.Fatalf("edge %d of path to %d mismatched", i, v)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := xrand.New(5)
+	g := graph.GNM(rng, 70, 180)
+	a := New(g, 3)
+	b := New(g, 3)
+	for v := 0; v < g.NumVertices(); v++ {
+		if a.Parent[v] != b.Parent[v] || a.Dist[v] != b.Dist[v] {
+			t.Fatal("BFS not deterministic")
+		}
+	}
+}
+
+func TestForestSequentialVsParallel(t *testing.T) {
+	rng := xrand.New(6)
+	g := graph.RandomConnected(rng, 100, 300)
+	roots := []int32{0, 5, 9, 5, 33, 0} // duplicates on purpose
+	seq := NewForest(g, roots, 1)
+	par := NewForest(g, roots, 4)
+	if len(seq.Roots) != 4 || len(par.Roots) != 4 {
+		t.Fatalf("dedup failed: %d, %d", len(seq.Roots), len(par.Roots))
+	}
+	for _, r := range seq.Roots {
+		ts, tp := seq.Tree(r), par.Tree(r)
+		if ts == nil || tp == nil {
+			t.Fatalf("missing tree for root %d", r)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if ts.Dist[v] != tp.Dist[v] || ts.Parent[v] != tp.Parent[v] {
+				t.Fatalf("root %d: parallel and sequential trees differ at %d", r, v)
+			}
+		}
+	}
+	if seq.Tree(77) != nil {
+		t.Fatal("Tree of non-root should be nil")
+	}
+}
+
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := xrand.New(uint64(seed))
+		g := graph.RandomConnected(rng, 30, 60)
+		t0 := New(g, 0)
+		t1 := New(g, 1)
+		// d(0,v) <= d(0,1) + d(1,v) for all v.
+		for v := 0; v < 30; v++ {
+			if t0.Dist[v] > t0.Dist[1]+t1.Dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := graph.RandomConnected(xrand.New(1), 5000, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = New(g, i%5000)
+	}
+}

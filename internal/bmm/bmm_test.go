@@ -1,0 +1,181 @@
+package bmm
+
+import (
+	"testing"
+
+	"msrp/internal/msrp"
+	"msrp/internal/xrand"
+)
+
+func testParams(seed uint64) msrp.Params {
+	p := msrp.DefaultParams()
+	p.Seed = seed
+	p.SampleBoost = 12
+	p.SuffixScale = 0.25
+	return p
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(70) // crosses a word boundary
+	if m.Ones() != 0 {
+		t.Fatal("fresh matrix not empty")
+	}
+	m.Set(0, 0, true)
+	m.Set(69, 69, true)
+	m.Set(3, 65, true)
+	if !m.Get(0, 0) || !m.Get(69, 69) || !m.Get(3, 65) {
+		t.Fatal("set bits not readable")
+	}
+	if m.Get(1, 1) {
+		t.Fatal("unset bit reads true")
+	}
+	if m.Ones() != 3 {
+		t.Fatalf("Ones = %d", m.Ones())
+	}
+	m.Set(0, 0, false)
+	if m.Get(0, 0) || m.Ones() != 2 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestMultiplyAgainstNaive(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(60)
+		a := Random(rng, n, 0.2)
+		b := Random(rng, n, 0.2)
+		fast, err := Multiply(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := MultiplyNaive(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(fast, slow) {
+			t.Fatalf("trial %d: fast and naive products differ", trial)
+		}
+	}
+}
+
+func TestMultiplyIdentity(t *testing.T) {
+	rng := xrand.New(2)
+	a := Random(rng, 40, 0.3)
+	id := Identity(40)
+	left, _ := Multiply(id, a)
+	right, _ := Multiply(a, id)
+	if !Equal(left, a) || !Equal(right, a) {
+		t.Fatal("identity multiplication changed the matrix")
+	}
+}
+
+func TestMultiplySizeMismatch(t *testing.T) {
+	if _, err := Multiply(NewMatrix(3), NewMatrix(4)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestReductionTiny(t *testing.T) {
+	// Hand-checkable 3x3 instance.
+	a := NewMatrix(3)
+	b := NewMatrix(3)
+	a.Set(0, 1, true)
+	a.Set(2, 0, true)
+	b.Set(1, 2, true)
+	b.Set(0, 0, true)
+	want, _ := Multiply(a, b) // C[0][2]=1, C[2][0]=1
+	got, stats, err := MultiplyViaMSRP(a, b, 1, testParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, want) {
+		t.Fatalf("reduction wrong on tiny instance: got %d ones want %d", got.Ones(), want.Ones())
+	}
+	if stats.NumGraphs == 0 || stats.DecodedRows != 3 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestReductionRandomSweep(t *testing.T) {
+	rng := xrand.New(4)
+	for trial := 0; trial < 6; trial++ {
+		n := 6 + rng.Intn(18)
+		density := 0.1 + 0.3*rng.Float64()
+		a := Random(rng, n, density)
+		b := Random(rng, n, density)
+		sigma := 1 + rng.Intn(3)
+		want, _ := Multiply(a, b)
+		got, _, err := MultiplyViaMSRP(a, b, sigma, testParams(uint64(trial)+10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(got, want) {
+			diff := 0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if got.Get(i, j) != want.Get(i, j) {
+						diff++
+					}
+				}
+			}
+			t.Fatalf("trial %d (n=%d σ=%d dens=%.2f): %d wrong entries",
+				trial, n, sigma, density, diff)
+		}
+	}
+}
+
+func TestReductionDenseAndSparse(t *testing.T) {
+	rng := xrand.New(5)
+	for _, density := range []float64{0, 0.05, 0.9, 1} {
+		n := 10
+		a := Random(rng, n, density)
+		b := Random(rng, n, density)
+		want, _ := Multiply(a, b)
+		got, _, err := MultiplyViaMSRP(a, b, 2, testParams(uint64(density*100)+20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(got, want) {
+			t.Fatalf("density %v: reduction wrong", density)
+		}
+	}
+}
+
+func TestReductionSigmaInvariance(t *testing.T) {
+	// The product must not depend on the σ chosen for the reduction.
+	rng := xrand.New(6)
+	a := Random(rng, 15, 0.25)
+	b := Random(rng, 15, 0.25)
+	want, _ := Multiply(a, b)
+	for sigma := 1; sigma <= 4; sigma++ {
+		got, _, err := MultiplyViaMSRP(a, b, sigma, testParams(uint64(sigma)+30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(got, want) {
+			t.Fatalf("sigma=%d: reduction wrong", sigma)
+		}
+	}
+}
+
+func TestReductionEmptyMatrix(t *testing.T) {
+	got, _, err := MultiplyViaMSRP(NewMatrix(0), NewMatrix(0), 1, testParams(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 0 {
+		t.Fatal("empty product wrong")
+	}
+}
+
+func BenchmarkMultiply(b *testing.B) {
+	rng := xrand.New(1)
+	x := Random(rng, 256, 0.1)
+	y := Random(rng, 256, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Multiply(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

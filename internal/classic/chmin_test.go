@@ -1,0 +1,83 @@
+package classic
+
+import (
+	"testing"
+
+	"msrp/internal/xrand"
+)
+
+func TestChminBasic(t *testing.T) {
+	tr := newChminTree(8)
+	for i := 0; i < 8; i++ {
+		if got, _ := tr.query(i); got != chminInf {
+			t.Fatalf("fresh tree index %d not inf", i)
+		}
+	}
+	tr.update(2, 5, 10, 100)
+	tr.update(4, 7, 3, 300)
+	want := []int64{chminInf, chminInf, 10, 10, 3, 3, 3, 3}
+	wantPay := []int64{0, 0, 100, 100, 300, 300, 300, 300}
+	for i, w := range want {
+		got, pay := tr.query(i)
+		if got != w {
+			t.Fatalf("query(%d) = %d, want %d", i, got, w)
+		}
+		if w != chminInf && pay != wantPay[i] {
+			t.Fatalf("payload(%d) = %d, want %d", i, pay, wantPay[i])
+		}
+	}
+}
+
+func TestChminClamping(t *testing.T) {
+	tr := newChminTree(4)
+	tr.update(-5, 10, 7, 0) // out-of-range bounds clamp
+	for i := 0; i < 4; i++ {
+		if got, _ := tr.query(i); got != 7 {
+			t.Fatalf("query(%d) = %d", i, got)
+		}
+	}
+	tr.update(3, 2, 1, 0) // empty interval: no-op
+	a, _ := tr.query(2)
+	b, _ := tr.query(3)
+	if a != 7 || b != 7 {
+		t.Fatal("empty interval modified tree")
+	}
+}
+
+func TestChminZeroSize(t *testing.T) {
+	tr := newChminTree(0)
+	tr.update(0, 0, 5, 0) // must not panic
+	_, _ = tr.query(0)
+}
+
+func TestChminAgainstBruteForce(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		tr := newChminTree(n)
+		model := make([]int64, n)
+		for i := range model {
+			model[i] = chminInf
+		}
+		for op := 0; op < 200; op++ {
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo)
+			x := int64(rng.Intn(1000))
+			tr.update(lo, hi, x, x*7)
+			for i := lo; i <= hi; i++ {
+				if x < model[i] {
+					model[i] = x
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			got, pay := tr.query(i)
+			if got != model[i] {
+				t.Fatalf("trial %d index %d: got %d want %d", trial, i, got, model[i])
+			}
+			if got != chminInf && pay != got*7 {
+				t.Fatalf("trial %d index %d: payload %d for value %d", trial, i, pay, got)
+			}
+		}
+	}
+}

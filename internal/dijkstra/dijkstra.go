@@ -1,0 +1,157 @@
+// Package dijkstra runs Dijkstra's algorithm over the weighted directed
+// auxiliary graphs the paper constructs in §7.1, §8.1, §8.2.2 and
+// §8.3.2.
+//
+// Auxiliary graphs are built once, run once, and discarded, so the
+// representation is a freshly compacted CSR of arcs with int64
+// distances (auxiliary arc weights are compressed path lengths, so
+// int32 sums could in principle overflow on adversarial chains; int64
+// removes the concern entirely). Parent pointers are recorded so the
+// §8.2.1 machinery can expand the winning paths.
+package dijkstra
+
+import (
+	"fmt"
+	"math"
+
+	"msrp/internal/pqueue"
+)
+
+// Inf is the distance reported for unreachable nodes.
+const Inf = int64(math.MaxInt64)
+
+// Builder accumulates arcs of a directed weighted graph with n nodes.
+type Builder struct {
+	n    int
+	from []int32
+	to   []int32
+	w    []int32
+}
+
+// NewBuilder returns a builder for a graph on n nodes. The arcs slice
+// capacity hint avoids regrowth for the large §8 auxiliary graphs.
+func NewBuilder(n, arcHint int) *Builder {
+	return &Builder{
+		n:    n,
+		from: make([]int32, 0, arcHint),
+		to:   make([]int32, 0, arcHint),
+		w:    make([]int32, 0, arcHint),
+	}
+}
+
+// NumNodes returns the node count.
+func (b *Builder) NumNodes() int { return b.n }
+
+// NumArcs returns the number of arcs added so far.
+func (b *Builder) NumArcs() int { return len(b.from) }
+
+// AddArc records the directed arc from→to with weight w. Negative
+// weights are a programming error (Dijkstra requires non-negative) and
+// panic immediately rather than corrupting distances downstream.
+func (b *Builder) AddArc(from, to int32, w int32) {
+	if w < 0 {
+		panic(fmt.Sprintf("dijkstra: negative arc weight %d", w))
+	}
+	if from < 0 || to < 0 || int(from) >= b.n || int(to) >= b.n {
+		panic(fmt.Sprintf("dijkstra: arc (%d,%d) out of range n=%d", from, to, b.n))
+	}
+	b.from = append(b.from, from)
+	b.to = append(b.to, to)
+	b.w = append(b.w, w)
+}
+
+// Graph is the finalized CSR arc structure.
+type Graph struct {
+	n   int
+	off []int32
+	to  []int32
+	w   []int32
+}
+
+// Finalize compacts the builder into a Graph. The builder can be
+// discarded afterwards.
+func (b *Builder) Finalize() *Graph {
+	g := &Graph{
+		n:   b.n,
+		off: make([]int32, b.n+1),
+		to:  make([]int32, len(b.to)),
+		w:   make([]int32, len(b.w)),
+	}
+	for _, f := range b.from {
+		g.off[f+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.off[v+1] += g.off[v]
+	}
+	cursor := make([]int32, b.n)
+	copy(cursor, g.off[:b.n])
+	for i, f := range b.from {
+		g.to[cursor[f]] = b.to[i]
+		g.w[cursor[f]] = b.w[i]
+		cursor[f]++
+	}
+	return g
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumArcs returns the arc count.
+func (g *Graph) NumArcs() int { return len(g.to) }
+
+// Result holds the output of one Dijkstra run.
+type Result struct {
+	// Dist[v] is the shortest distance from the source, or Inf.
+	Dist []int64
+	// Parent[v] is the predecessor node on a shortest path, or -1.
+	Parent []int32
+}
+
+// Run executes Dijkstra from src and returns distances and parents.
+func (g *Graph) Run(src int32) *Result {
+	res := &Result{
+		Dist:   make([]int64, g.n),
+		Parent: make([]int32, g.n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = Inf
+		res.Parent[i] = -1
+	}
+	res.Dist[src] = 0
+	var h pqueue.Heap
+	h.Grow(g.n / 4)
+	h.Push(0, src)
+	for h.Len() > 0 {
+		it := h.Pop()
+		v := it.Value
+		if it.Key != res.Dist[v] {
+			continue // stale entry (lazy deletion)
+		}
+		lo, hi := g.off[v], g.off[v+1]
+		for i := lo; i < hi; i++ {
+			to, w := g.to[i], int64(g.w[i])
+			if nd := it.Key + w; nd < res.Dist[to] {
+				res.Dist[to] = nd
+				res.Parent[to] = v
+				h.Push(nd, to)
+			}
+		}
+	}
+	return res
+}
+
+// PathTo reconstructs the node sequence of a shortest path from the
+// source to v (source first), or nil if v is unreachable.
+func (r *Result) PathTo(v int32) []int32 {
+	if r.Dist[v] == Inf {
+		return nil
+	}
+	var rev []int32
+	for x := v; x >= 0; x = r.Parent[x] {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,189 @@
+package dijkstra
+
+import (
+	"testing"
+
+	"msrp/internal/graph"
+	"msrp/internal/xrand"
+)
+
+func TestLineGraph(t *testing.T) {
+	b := NewBuilder(4, 3)
+	b.AddArc(0, 1, 5)
+	b.AddArc(1, 2, 3)
+	b.AddArc(2, 3, 2)
+	g := b.Finalize()
+	res := g.Run(0)
+	want := []int64{0, 5, 8, 10}
+	for v, w := range want {
+		if res.Dist[v] != w {
+			t.Fatalf("dist[%d] = %d, want %d", v, res.Dist[v], w)
+		}
+	}
+	path := res.PathTo(3)
+	if len(path) != 4 || path[0] != 0 || path[3] != 3 {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	b := NewBuilder(3, 1)
+	b.AddArc(0, 1, 1)
+	g := b.Finalize()
+	res := g.Run(0)
+	if res.Dist[2] != Inf {
+		t.Fatalf("dist[2] = %d, want Inf", res.Dist[2])
+	}
+	if res.PathTo(2) != nil {
+		t.Fatal("path to unreachable should be nil")
+	}
+}
+
+func TestDirectedness(t *testing.T) {
+	b := NewBuilder(2, 1)
+	b.AddArc(0, 1, 1)
+	g := b.Finalize()
+	if res := g.Run(1); res.Dist[0] != Inf {
+		t.Fatal("arc should be one-directional")
+	}
+}
+
+func TestShorterAlternative(t *testing.T) {
+	// 0->2 direct cost 10, or 0->1->2 cost 3.
+	b := NewBuilder(3, 3)
+	b.AddArc(0, 2, 10)
+	b.AddArc(0, 1, 1)
+	b.AddArc(1, 2, 2)
+	g := b.Finalize()
+	res := g.Run(0)
+	if res.Dist[2] != 3 {
+		t.Fatalf("dist[2] = %d, want 3", res.Dist[2])
+	}
+	p := res.PathTo(2)
+	if len(p) != 3 || p[1] != 1 {
+		t.Fatalf("path = %v", p)
+	}
+}
+
+func TestZeroWeightArcs(t *testing.T) {
+	b := NewBuilder(3, 2)
+	b.AddArc(0, 1, 0)
+	b.AddArc(1, 2, 0)
+	g := b.Finalize()
+	res := g.Run(0)
+	if res.Dist[2] != 0 {
+		t.Fatalf("dist[2] = %d, want 0", res.Dist[2])
+	}
+}
+
+func TestNegativeWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2, 1).AddArc(0, 1, -1)
+}
+
+func TestAgainstBFSOnUnitWeights(t *testing.T) {
+	// With all weights 1, Dijkstra must agree with BFS on the same graph.
+	rng := xrand.New(1)
+	for trial := 0; trial < 10; trial++ {
+		ug := graph.RandomConnected(rng, 60, 150)
+		b := NewBuilder(60, 300)
+		for e := 0; e < ug.NumEdges(); e++ {
+			u, v := ug.EdgeEndpoints(e)
+			b.AddArc(u, v, 1)
+			b.AddArc(v, u, 1)
+		}
+		g := b.Finalize()
+		res := g.Run(0)
+		// Reference BFS.
+		dist := make([]int64, 60)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[0] = 0
+		queue := []int32{0}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			vtx, _ := ug.Neighbors(int(v))
+			for _, w := range vtx {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		for v := 0; v < 60; v++ {
+			if res.Dist[v] != dist[v] {
+				t.Fatalf("trial %d vertex %d: dijkstra %d, bfs %d", trial, v, res.Dist[v], dist[v])
+			}
+		}
+	}
+}
+
+func TestRelaxationFixedPoint(t *testing.T) {
+	// Property: after Run, no arc can relax any distance further, and
+	// every finite distance is witnessed by a parent arc.
+	rng := xrand.New(2)
+	b := NewBuilder(100, 400)
+	type arc struct {
+		from, to int32
+		w        int64
+	}
+	var arcs []arc
+	for i := 0; i < 400; i++ {
+		f, to := int32(rng.Intn(100)), int32(rng.Intn(100))
+		w := int32(rng.Intn(20))
+		b.AddArc(f, to, w)
+		arcs = append(arcs, arc{f, to, int64(w)})
+	}
+	g := b.Finalize()
+	res := g.Run(0)
+	for _, a := range arcs {
+		if res.Dist[a.from] != Inf && res.Dist[a.from]+a.w < res.Dist[a.to] {
+			t.Fatalf("arc (%d,%d,%d) can still relax: %d + %d < %d",
+				a.from, a.to, a.w, res.Dist[a.from], a.w, res.Dist[a.to])
+		}
+	}
+	for v := int32(1); v < 100; v++ {
+		if res.Dist[v] == Inf {
+			continue
+		}
+		p := res.Parent[v]
+		if p < 0 {
+			t.Fatalf("finite dist[%d]=%d with no parent", v, res.Dist[v])
+		}
+		// Parent must witness the distance through some arc.
+		witnessed := false
+		for _, a := range arcs {
+			if a.from == p && a.to == v && res.Dist[p]+a.w == res.Dist[v] {
+				witnessed = true
+				break
+			}
+		}
+		if !witnessed {
+			t.Fatalf("dist[%d]=%d not witnessed by parent %d", v, res.Dist[v], p)
+		}
+	}
+}
+
+func BenchmarkDijkstraSparse(b *testing.B) {
+	rng := xrand.New(1)
+	ug := graph.RandomConnected(rng, 5000, 20000)
+	bd := NewBuilder(5000, 40000)
+	for e := 0; e < ug.NumEdges(); e++ {
+		u, v := ug.EdgeEndpoints(e)
+		w := int32(rng.Intn(10) + 1)
+		bd.AddArc(u, v, w)
+		bd.AddArc(v, u, w)
+	}
+	g := bd.Finalize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Run(int32(i % 5000))
+	}
+}

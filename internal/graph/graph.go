@@ -1,0 +1,262 @@
+// Package graph provides the undirected, unweighted graph substrate used
+// by every algorithm in this repository.
+//
+// Graphs are stored in compressed sparse row (CSR) form: one flat
+// neighbor array indexed by per-vertex offsets, with a parallel array of
+// edge identifiers. Edge identifiers are stable small integers in
+// [0, m), which lets algorithms key per-edge state (replacement-path
+// lengths, avoidance checks) by dense arrays instead of maps. The paper
+// (Gupta–Jain–Modi 2020) works exclusively with simple undirected
+// unweighted graphs, so the builder rejects self-loops and parallel
+// edges.
+//
+// A Graph is immutable after construction and safe for concurrent
+// readers.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Common construction errors.
+var (
+	ErrSelfLoop      = errors.New("graph: self-loop rejected")
+	ErrVertexRange   = errors.New("graph: vertex out of range")
+	ErrParallelEdge  = errors.New("graph: parallel edge rejected")
+	ErrTooManyMerges = errors.New("graph: vertex count exceeds int32 range")
+)
+
+// Graph is an immutable simple undirected unweighted graph in CSR form.
+// The zero value is the empty graph with no vertices.
+type Graph struct {
+	n int
+
+	// Edge i connects eu[i] and ev[i] with eu[i] < ev[i].
+	eu, ev []int32
+
+	// CSR adjacency: the neighbors of v are nbr[off[v]:off[v+1]], and
+	// eid[off[v]:off[v+1]] are the identifiers of the connecting edges.
+	// Neighbor lists are sorted ascending, which makes every traversal
+	// in the repository deterministic.
+	off []int32
+	nbr []int32
+	eid []int32
+}
+
+// NumVertices returns n, the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns m, the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.eu) }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int {
+	return int(g.off[v+1] - g.off[v])
+}
+
+// Neighbors returns the sorted neighbor list of v and the parallel slice
+// of edge identifiers. The returned slices alias the graph's internal
+// storage and must not be modified.
+func (g *Graph) Neighbors(v int) (vertices, edgeIDs []int32) {
+	lo, hi := g.off[v], g.off[v+1]
+	return g.nbr[lo:hi], g.eid[lo:hi]
+}
+
+// EdgeEndpoints returns the endpoints (u, v) of edge e with u < v.
+func (g *Graph) EdgeEndpoints(e int) (u, v int32) {
+	return g.eu[e], g.ev[e]
+}
+
+// OtherEnd returns the endpoint of edge e that is not x. It panics if x
+// is not an endpoint of e, which always indicates a programming error in
+// this repository rather than a recoverable condition.
+func (g *Graph) OtherEnd(e int, x int32) int32 {
+	switch x {
+	case g.eu[e]:
+		return g.ev[e]
+	case g.ev[e]:
+		return g.eu[e]
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %d", x, e))
+}
+
+// HasEdge reports whether an edge between u and v exists, by binary
+// search in the sorted neighbor list of the lower-degree endpoint.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.EdgeID(u, v)
+	return ok
+}
+
+// EdgeID returns the identifier of the edge between u and v, if any.
+func (g *Graph) EdgeID(u, v int) (int32, bool) {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return -1, false
+	}
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	vtx, ids := g.Neighbors(u)
+	i := sort.Search(len(vtx), func(i int) bool { return vtx[i] >= int32(v) })
+	if i < len(vtx) && vtx[i] == int32(v) {
+		return ids[i], true
+	}
+	return -1, false
+}
+
+// Builder accumulates edges and produces an immutable Graph. The zero
+// value is not usable; construct with NewBuilder.
+type Builder struct {
+	n      int
+	us, vs []int32
+}
+
+// NewBuilder returns a builder for a graph on n vertices. It panics if
+// n is negative or exceeds the int32 vertex-id range.
+func NewBuilder(n int) *Builder {
+	if n < 0 || int64(n) >= int64(1)<<31 {
+		panic(ErrTooManyMerges)
+	}
+	return &Builder{n: n}
+}
+
+// NumVertices returns the vertex count the builder was created with.
+func (b *Builder) NumVertices() int { return b.n }
+
+// AddEdge records the undirected edge {u, v}. Duplicate edges are
+// detected at Build time (detecting them here would cost a hash probe
+// per insertion; generators bulk-load millions of edges).
+func (b *Builder) AddEdge(u, v int) error {
+	if u < 0 || v < 0 || u >= b.n || v >= b.n {
+		return fmt.Errorf("%w: edge {%d,%d} with n=%d", ErrVertexRange, u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: {%d,%d}", ErrSelfLoop, u, v)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+	return nil
+}
+
+// Build finalizes the builder into an immutable Graph. It returns
+// ErrParallelEdge if the same undirected edge was added twice. The
+// builder may be reused afterwards (its edges are copied out).
+func (b *Builder) Build() (*Graph, error) {
+	m := len(b.us)
+	// Sort edges by (u, v) to canonicalize edge identifiers and detect
+	// duplicates. Edge IDs are assigned in sorted order, so a graph's
+	// edge numbering depends only on its edge set, not insertion order.
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, c int) bool {
+		i, j := idx[a], idx[c]
+		if b.us[i] != b.us[j] {
+			return b.us[i] < b.us[j]
+		}
+		return b.vs[i] < b.vs[j]
+	})
+
+	g := &Graph{
+		n:  b.n,
+		eu: make([]int32, m),
+		ev: make([]int32, m),
+	}
+	for k, i := range idx {
+		g.eu[k], g.ev[k] = b.us[i], b.vs[i]
+		if k > 0 && g.eu[k] == g.eu[k-1] && g.ev[k] == g.ev[k-1] {
+			return nil, fmt.Errorf("%w: {%d,%d}", ErrParallelEdge, g.eu[k], g.ev[k])
+		}
+	}
+
+	// Counting sort into CSR. Each undirected edge appears in both
+	// endpoint lists.
+	g.off = make([]int32, b.n+1)
+	for i := 0; i < m; i++ {
+		g.off[g.eu[i]+1]++
+		g.off[g.ev[i]+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.off[v+1] += g.off[v]
+	}
+	g.nbr = make([]int32, 2*m)
+	g.eid = make([]int32, 2*m)
+	cursor := make([]int32, b.n)
+	copy(cursor, g.off[:b.n])
+	for i := 0; i < m; i++ {
+		u, v := g.eu[i], g.ev[i]
+		g.nbr[cursor[u]], g.eid[cursor[u]] = v, int32(i)
+		cursor[u]++
+		g.nbr[cursor[v]], g.eid[cursor[v]] = u, int32(i)
+		cursor[v]++
+	}
+	// Neighbor lists come out sorted automatically: edges are processed
+	// in (u,v) sorted order, so each vertex's list of higher neighbors
+	// is ascending; lower neighbors are appended in ascending u order as
+	// well. The interleaving of the two is NOT sorted, so sort each list.
+	for v := 0; v < b.n; v++ {
+		lo, hi := g.off[v], g.off[v+1]
+		sortAdj(g.nbr[lo:hi], g.eid[lo:hi])
+	}
+	return g, nil
+}
+
+// MustBuild is Build for callers (generators, tests) that construct
+// edges programmatically and treat failure as a bug.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// sortAdj sorts the neighbor slice ascending, permuting the edge-id
+// slice in lockstep. Insertion sort: adjacency lists are mostly sorted
+// already (two ascending runs), so this is effectively a merge.
+func sortAdj(nbr, eid []int32) {
+	for i := 1; i < len(nbr); i++ {
+		nv, ne := nbr[i], eid[i]
+		j := i - 1
+		for j >= 0 && nbr[j] > nv {
+			nbr[j+1], eid[j+1] = nbr[j], eid[j]
+			j--
+		}
+		nbr[j+1], eid[j+1] = nv, ne
+	}
+}
+
+// Clone returns a deep copy of g. Algorithms never mutate graphs, but
+// the fault-injection tests use Clone to build edge-deleted variants.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		n:   g.n,
+		eu:  append([]int32(nil), g.eu...),
+		ev:  append([]int32(nil), g.ev...),
+		off: append([]int32(nil), g.off...),
+		nbr: append([]int32(nil), g.nbr...),
+		eid: append([]int32(nil), g.eid...),
+	}
+	return c
+}
+
+// WithoutEdge returns a copy of g with edge e removed. Edge identifiers
+// are reassigned (they are positional); callers needing the original
+// numbering must map through EdgeEndpoints. This is O(m) and intended
+// for the brute-force oracle and tests, not for the core algorithms.
+func (g *Graph) WithoutEdge(e int) *Graph {
+	b := NewBuilder(g.n)
+	for i := 0; i < g.NumEdges(); i++ {
+		if i == e {
+			continue
+		}
+		// Endpoints are valid by construction; error impossible.
+		_ = b.AddEdge(int(g.eu[i]), int(g.ev[i]))
+	}
+	return b.MustBuild()
+}

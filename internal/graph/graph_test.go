@@ -1,0 +1,376 @@
+package graph
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"msrp/internal/xrand"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).MustBuild()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if !g.IsConnected() {
+		t.Fatal("empty graph should count as connected")
+	}
+}
+
+func TestSingleEdge(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, v := g.EdgeEndpoints(0)
+	if u != 0 || v != 1 {
+		t.Fatalf("endpoints = (%d,%d), want (0,1)", u, v)
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatal("bad degrees")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge should be symmetric")
+	}
+	if g.HasEdge(0, 0) {
+		t.Fatal("HasEdge(0,0) true")
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(1, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("err = %v, want ErrSelfLoop", err)
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	b := NewBuilder(3)
+	for _, e := range [][2]int{{-1, 0}, {0, 3}, {5, 1}} {
+		if err := b.AddEdge(e[0], e[1]); !errors.Is(err, ErrVertexRange) {
+			t.Fatalf("AddEdge(%d,%d) err = %v, want ErrVertexRange", e[0], e[1], err)
+		}
+	}
+}
+
+func TestParallelEdgeRejected(t *testing.T) {
+	b := NewBuilder(3)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 0) // same undirected edge
+	if _, err := b.Build(); !errors.Is(err, ErrParallelEdge) {
+		t.Fatalf("Build err = %v, want ErrParallelEdge", err)
+	}
+}
+
+func TestEdgeIDsCanonical(t *testing.T) {
+	// Two builders adding the same edges in different orders must produce
+	// identical graphs (same edge numbering).
+	edges := [][2]int{{3, 1}, {0, 2}, {2, 3}, {0, 1}}
+	b1 := NewBuilder(4)
+	for _, e := range edges {
+		_ = b1.AddEdge(e[0], e[1])
+	}
+	b2 := NewBuilder(4)
+	for i := len(edges) - 1; i >= 0; i-- {
+		_ = b2.AddEdge(edges[i][1], edges[i][0])
+	}
+	g1, g2 := b1.MustBuild(), b2.MustBuild()
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("edge counts differ")
+	}
+	for i := 0; i < g1.NumEdges(); i++ {
+		u1, v1 := g1.EdgeEndpoints(i)
+		u2, v2 := g2.EdgeEndpoints(i)
+		if u1 != u2 || v1 != v2 {
+			t.Fatalf("edge %d: (%d,%d) vs (%d,%d)", i, u1, v1, u2, v2)
+		}
+	}
+}
+
+func TestNeighborsSortedAndConsistent(t *testing.T) {
+	rng := xrand.New(1)
+	g := GNM(rng, 80, 300)
+	for v := 0; v < g.NumVertices(); v++ {
+		vtx, ids := g.Neighbors(v)
+		if !sort.SliceIsSorted(vtx, func(i, j int) bool { return vtx[i] < vtx[j] }) {
+			t.Fatalf("neighbors of %d not sorted: %v", v, vtx)
+		}
+		for i, w := range vtx {
+			e := int(ids[i])
+			a, b := g.EdgeEndpoints(e)
+			if !(a == int32(v) && b == w) && !(a == w && b == int32(v)) {
+				t.Fatalf("edge id %d inconsistent for %d-%d", e, v, w)
+			}
+			if g.OtherEnd(e, int32(v)) != w {
+				t.Fatalf("OtherEnd mismatch for edge %d", e)
+			}
+		}
+	}
+}
+
+func TestDegreeSum(t *testing.T) {
+	rng := xrand.New(2)
+	g := GNM(rng, 60, 200)
+	sum := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		sum += g.Degree(v)
+	}
+	if sum != 2*g.NumEdges() {
+		t.Fatalf("degree sum %d != 2m = %d", sum, 2*g.NumEdges())
+	}
+}
+
+func TestEdgeIDLookup(t *testing.T) {
+	rng := xrand.New(3)
+	g := GNM(rng, 50, 150)
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.EdgeEndpoints(e)
+		id, ok := g.EdgeID(int(u), int(v))
+		if !ok || id != int32(e) {
+			t.Fatalf("EdgeID(%d,%d) = %d,%v want %d", u, v, id, ok, e)
+		}
+		id, ok = g.EdgeID(int(v), int(u))
+		if !ok || id != int32(e) {
+			t.Fatalf("EdgeID(%d,%d) reversed = %d,%v want %d", v, u, id, ok, e)
+		}
+	}
+	if _, ok := g.EdgeID(0, 0); ok {
+		t.Fatal("EdgeID(0,0) found")
+	}
+}
+
+func TestWithoutEdge(t *testing.T) {
+	g := Cycle(5)
+	h := g.WithoutEdge(2)
+	if h.NumEdges() != 4 {
+		t.Fatalf("m = %d after deletion, want 4", h.NumEdges())
+	}
+	u, v := g.EdgeEndpoints(2)
+	if h.HasEdge(int(u), int(v)) {
+		t.Fatalf("edge {%d,%d} still present", u, v)
+	}
+	if !h.IsConnected() {
+		t.Fatal("cycle minus one edge must stay connected")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rng := xrand.New(9)
+	cases := []struct {
+		name      string
+		g         *Graph
+		n, m      int
+		connected bool
+	}{
+		{"path", Path(10), 10, 9, true},
+		{"cycle", Cycle(7), 7, 7, true},
+		{"complete", Complete(6), 6, 15, true},
+		{"star", Star(8), 8, 7, true},
+		{"grid", Grid(4, 5), 20, 31, true},
+		{"barbell", Barbell(4, 3), 10, 15, true},
+		{"caterpillar", Caterpillar(5, 2), 15, 14, true},
+		{"randconn", RandomConnected(rng, 40, 80), 40, 80, true},
+		{"cyclechords", CycleWithChords(rng, 30, 10), 30, 40, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.g.NumVertices() != tc.n {
+				t.Fatalf("n = %d, want %d", tc.g.NumVertices(), tc.n)
+			}
+			if tc.g.NumEdges() != tc.m {
+				t.Fatalf("m = %d, want %d", tc.g.NumEdges(), tc.m)
+			}
+			if tc.g.IsConnected() != tc.connected {
+				t.Fatalf("connected = %v, want %v", tc.g.IsConnected(), tc.connected)
+			}
+		})
+	}
+}
+
+func TestGNMEdgeCount(t *testing.T) {
+	rng := xrand.New(4)
+	g := GNM(rng, 100, 450)
+	if g.NumEdges() != 450 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	rng := xrand.New(5)
+	g := PreferentialAttachment(rng, 200, 3)
+	if g.NumVertices() != 200 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if !g.IsConnected() {
+		t.Fatal("PA graph should be connected")
+	}
+	// Every non-seed vertex has degree >= 3.
+	for v := 4; v < 200; v++ {
+		if g.Degree(v) < 3 {
+			t.Fatalf("vertex %d degree %d < 3", v, g.Degree(v))
+		}
+	}
+	_, maxDeg, _ := g.DegreeStats()
+	if maxDeg < 10 {
+		t.Fatalf("expected a hub, max degree only %d", maxDeg)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(6)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 2)
+	_ = b.AddEdge(4, 5)
+	g := b.MustBuild()
+	label, count := g.Components()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if label[0] != label[1] || label[1] != label[2] {
+		t.Fatal("0,1,2 should share a component")
+	}
+	if label[3] == label[0] || label[3] == label[4] {
+		t.Fatal("3 should be isolated")
+	}
+	if label[4] != label[5] {
+		t.Fatal("4,5 should share a component")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Path(10).Diameter(); d != 9 {
+		t.Fatalf("path diameter %d, want 9", d)
+	}
+	if d := Cycle(10).Diameter(); d != 5 {
+		t.Fatalf("cycle diameter %d, want 5", d)
+	}
+	if d := Complete(5).Diameter(); d != 1 {
+		t.Fatalf("clique diameter %d, want 1", d)
+	}
+	if d := Grid(3, 4).Diameter(); d != 5 {
+		t.Fatalf("grid diameter %d, want 5", d)
+	}
+}
+
+func TestBridges(t *testing.T) {
+	// A cycle has no bridges; a path is all bridges.
+	if bs := Cycle(8).Bridges(); len(bs) != 0 {
+		t.Fatalf("cycle bridges = %v", bs)
+	}
+	if bs := Path(8).Bridges(); len(bs) != 7 {
+		t.Fatalf("path bridges = %d, want 7", len(bs))
+	}
+	// Barbell(3, 2): the 2-edge bridge path is exactly the bridge set.
+	g := Barbell(3, 2)
+	bs := g.Bridges()
+	if len(bs) != 2 {
+		t.Fatalf("barbell bridges = %d, want 2", len(bs))
+	}
+	for _, e := range bs {
+		u, v := g.EdgeEndpoints(int(e))
+		// Removing a bridge must disconnect the graph.
+		if g.WithoutEdge(int(e)).IsConnected() {
+			t.Fatalf("removing reported bridge {%d,%d} left graph connected", u, v)
+		}
+	}
+}
+
+func TestBridgesMatchBruteForce(t *testing.T) {
+	rng := xrand.New(6)
+	for trial := 0; trial < 20; trial++ {
+		g := GNM(rng, 25, 30+rng.Intn(20))
+		got := map[int32]bool{}
+		for _, e := range g.Bridges() {
+			got[e] = true
+		}
+		_, compBefore := g.Components()
+		for e := 0; e < g.NumEdges(); e++ {
+			_, compAfter := g.WithoutEdge(e).Components()
+			isBridge := compAfter > compBefore
+			if got[int32(e)] != isBridge {
+				t.Fatalf("trial %d edge %d: Bridges says %v, brute force says %v",
+					trial, e, got[int32(e)], isBridge)
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Cycle(5)
+	c := g.Clone()
+	if c.NumVertices() != g.NumVertices() || c.NumEdges() != g.NumEdges() {
+		t.Fatal("clone differs")
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		u1, v1 := g.EdgeEndpoints(e)
+		u2, v2 := c.EdgeEndpoints(e)
+		if u1 != u2 || v1 != v2 {
+			t.Fatal("clone edges differ")
+		}
+	}
+}
+
+func TestQuickDegreeSumInvariant(t *testing.T) {
+	rng := xrand.New(7)
+	f := func(seed uint32, nRaw, mRaw uint16) bool {
+		n := int(nRaw%50) + 2
+		maxM := n * (n - 1) / 2
+		m := int(mRaw) % (maxM + 1)
+		g := GNM(xrand.New(uint64(seed)), n, m)
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		_ = rng
+		return sum == 2*g.NumEdges() && g.NumEdges() == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEdgeIDRoundTrip(t *testing.T) {
+	f := func(seed uint32) bool {
+		g := GNM(xrand.New(uint64(seed)), 30, 60)
+		for e := 0; e < g.NumEdges(); e++ {
+			u, v := g.EdgeEndpoints(e)
+			id, ok := g.EdgeID(int(u), int(v))
+			if !ok || id != int32(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildGNM(b *testing.B) {
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = GNM(rng, 1000, 4000)
+	}
+}
+
+func BenchmarkNeighborIteration(b *testing.B) {
+	g := GNM(xrand.New(1), 1000, 8000)
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			vtx, _ := g.Neighbors(v)
+			for _, w := range vtx {
+				sink += w
+			}
+		}
+	}
+	_ = sink
+}

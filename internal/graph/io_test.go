@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"msrp/internal/xrand"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 10; trial++ {
+		g := GNM(rng, 30+rng.Intn(20), 40+rng.Intn(60))
+		var buf bytes.Buffer
+		if err := Encode(g, &buf); err != nil {
+			t.Fatal(err)
+		}
+		h, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed size: (%d,%d) -> (%d,%d)",
+				g.NumVertices(), g.NumEdges(), h.NumVertices(), h.NumEdges())
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			u1, v1 := g.EdgeEndpoints(e)
+			u2, v2 := h.EdgeEndpoints(e)
+			if u1 != u2 || v1 != v2 {
+				t.Fatalf("edge %d changed: (%d,%d) -> (%d,%d)", e, u1, v1, u2, v2)
+			}
+		}
+	}
+}
+
+func TestDecodeCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+p msrp 3 2
+
+e 0 1
+# another comment
+e 1 2
+`
+	g, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"no problem line":    "e 0 1\n",
+		"bad record":         "p msrp 2 1\nx 0 1\n",
+		"bad counts":         "p msrp 2 5\ne 0 1\n",
+		"self loop":          "p msrp 2 1\ne 1 1\n",
+		"out of range":       "p msrp 2 1\ne 0 5\n",
+		"duplicate edge":     "p msrp 2 2\ne 0 1\ne 1 0\n",
+		"double problem":     "p msrp 2 1\np msrp 2 1\ne 0 1\n",
+		"bad vertex count":   "p msrp x 1\ne 0 1\n",
+		"bad edge field":     "p msrp 2 1\ne 0 y\n",
+		"short edge line":    "p msrp 2 1\ne 0\n",
+		"wrong problem type": "p foo 2 1\ne 0 1\n",
+		"empty input":        "",
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: err = %v, want ErrBadFormat", name, err)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	g := Grid(3, 3)
+	var a, b bytes.Buffer
+	if err := Encode(g, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(g, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("Encode not deterministic")
+	}
+	if !strings.HasPrefix(a.String(), "p msrp 9 12\n") {
+		t.Fatalf("unexpected header: %q", a.String()[:20])
+	}
+}

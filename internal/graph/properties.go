@@ -1,0 +1,164 @@
+package graph
+
+// Structural queries used by tests, workload validation, and the
+// benchmark harness. These are deliberately simple O(n+m) or O(nm)
+// reference implementations; the algorithm packages have their own
+// optimized traversals.
+
+// Components labels every vertex with a connected-component id in
+// [0, count) and returns the labels and the component count. Labels are
+// assigned in order of the smallest vertex in each component.
+func (g *Graph) Components() (label []int32, count int) {
+	label = make([]int32, g.n)
+	for i := range label {
+		label[i] = -1
+	}
+	queue := make([]int32, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if label[v] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		label[v] = id
+		queue = append(queue[:0], int32(v))
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			vtx, _ := g.Neighbors(int(x))
+			for _, w := range vtx {
+				if label[w] < 0 {
+					label[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return label, count
+}
+
+// IsConnected reports whether g is connected. The empty graph and the
+// single-vertex graph are connected.
+func (g *Graph) IsConnected() bool {
+	_, c := g.Components()
+	return c <= 1
+}
+
+// EccentricityFrom returns the maximum finite BFS distance from v, and
+// whether every vertex was reachable.
+func (g *Graph) EccentricityFrom(v int) (ecc int, allReachable bool) {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[v] = 0
+	queue := make([]int32, 0, g.n)
+	queue = append(queue, int32(v))
+	reached := 1
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if int(dist[x]) > ecc {
+			ecc = int(dist[x])
+		}
+		vtx, _ := g.Neighbors(int(x))
+		for _, w := range vtx {
+			if dist[w] < 0 {
+				dist[w] = dist[x] + 1
+				reached++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return ecc, reached == g.n
+}
+
+// Diameter returns the exact diameter by running BFS from every vertex:
+// O(nm), intended for tests and workload reporting only. Disconnected
+// graphs report the largest eccentricity within any component.
+func (g *Graph) Diameter() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		ecc, _ := g.EccentricityFrom(v)
+		if ecc > d {
+			d = ecc
+		}
+	}
+	return d
+}
+
+// Bridges returns the identifiers of all cut edges, found with an
+// iterative Tarjan low-link DFS. Replacement paths across a bridge do
+// not exist; tests use this to predict which queries must return +inf.
+func (g *Graph) Bridges() []int32 {
+	disc := make([]int32, g.n) // discovery time, 0 = unvisited
+	low := make([]int32, g.n)  // low-link value
+	parentEdge := make([]int32, g.n)
+	var bridges []int32
+	timer := int32(0)
+
+	type frame struct {
+		v    int32
+		next int32 // index into v's adjacency not yet explored
+	}
+	stack := make([]frame, 0, 64)
+	for root := 0; root < g.n; root++ {
+		if disc[root] != 0 {
+			continue
+		}
+		timer++
+		disc[root], low[root] = timer, timer
+		parentEdge[root] = -1
+		stack = append(stack[:0], frame{v: int32(root)})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			vtx, ids := g.Neighbors(int(v))
+			if int(f.next) < len(vtx) {
+				w, e := vtx[f.next], ids[f.next]
+				f.next++
+				if disc[w] == 0 {
+					timer++
+					disc[w], low[w] = timer, timer
+					parentEdge[w] = e
+					stack = append(stack, frame{v: w})
+				} else if e != parentEdge[v] {
+					if disc[w] < low[v] {
+						low[v] = disc[w]
+					}
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := stack[len(stack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if low[v] > disc[p] {
+					bridges = append(bridges, parentEdge[v])
+				}
+			}
+		}
+	}
+	return bridges
+}
+
+// DegreeStats returns the minimum, maximum and mean degree.
+func (g *Graph) DegreeStats() (minDeg, maxDeg int, mean float64) {
+	if g.n == 0 {
+		return 0, 0, 0
+	}
+	minDeg = g.Degree(0)
+	for v := 0; v < g.n; v++ {
+		d := g.Degree(v)
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean = float64(2*g.NumEdges()) / float64(g.n)
+	return minDeg, maxDeg, mean
+}

@@ -1,0 +1,255 @@
+package msrp
+
+import (
+	"fmt"
+
+	"msrp/internal/cuckoo"
+	"msrp/internal/dijkstra"
+	"msrp/internal/rp"
+	"msrp/internal/ssrp"
+)
+
+// Key packing for the (center, landmark, edge) seed table (§8.2.1).
+// 21 bits for each vertex id and 22 for the edge id fit exactly in 64.
+const (
+	vertexBits = 21
+	edgeBits   = 22
+	maxVertex  = 1 << vertexBits
+	maxEdge    = 1 << edgeBits
+)
+
+func packCRE(c, r, e int32) uint64 {
+	return uint64(c)<<(vertexBits+edgeBits) | uint64(r)<<edgeBits | uint64(e)
+}
+
+// checkPackable rejects graphs too large for the 64-bit key layout
+// (2M vertices / 4M edges — far beyond anything this harness runs).
+func checkPackable(n, m int) error {
+	if n >= maxVertex || m >= maxEdge {
+		return fmt.Errorf("msrp: graph too large for key packing (n=%d m=%d)", n, m)
+	}
+	return nil
+}
+
+// buildSeedTable implements §8.2.1: enumerate every small replacement
+// path from every source to every landmark (the §7.1 Dijkstra's
+// predecessor chains), and for every center c sitting on such a path
+// record the length of its c→r suffix. The table entry (c, r, e) → w
+// later becomes the [c]→[r,e] arc of G_c: a concrete e-avoiding c→r
+// walk, needed because small replacement paths have no long suffix for
+// the landmark sampling to hit.
+//
+// The table is the paper's designated cuckoo-hash use: Θ(σn) paths may
+// produce entries and lookups must stay O(1) worst case during the
+// G_c construction (internal/cuckoo, Lemma 5).
+func buildSeedTable(perSrc []*ssrp.PerSource, ctr *Centers) *cuckoo.Table {
+	table := cuckoo.New(1 << 12)
+	for _, ps := range perSrc {
+		ts := ps.Ts
+		for _, r := range ps.Sh.List {
+			if r == ps.S || !ts.Reachable(r) {
+				continue
+			}
+			l := ts.Dist[r]
+			edges := ts.PathEdgesTo(r)
+			for i := ps.Small.NearStart(r); i < l; i++ {
+				if ps.Small.Value(r, int(i)) >= rp.Inf {
+					continue
+				}
+				path := ps.Small.PathVertices(r, int(i))
+				if path == nil {
+					continue
+				}
+				e := edges[i]
+				last := len(path) - 1
+				for pos, w := range path {
+					if pos == last {
+						break // suffix of length 0 (c = r) is trivial
+					}
+					if !ctr.IsCenter(w) {
+						continue
+					}
+					table.MinPut(packCRE(w, r, e), int32(last-pos))
+				}
+			}
+		}
+	}
+	return table
+}
+
+// centerLandmark holds the §8.2.2 output: d(c, r, e) for every center
+// c, landmark r, and edge e among the first Budget(priority(c)) edges
+// of the canonical (T_c) c→r path.
+type centerLandmark struct {
+	ctr *Centers
+
+	// rows[c][r][j] = d(c, r, e_j) where e_j is the j-th edge of the
+	// T_c path from c toward r, j < min(budget, |cr|).
+	rows map[int32]map[int32][]int32
+
+	// Aggregate aux-graph size counters (all G_c combined) for E9.
+	NumNodes int64
+	NumArcs  int64
+}
+
+// buildCenterLandmark constructs and solves every per-center auxiliary
+// graph G_c (§8.2.2). Centers are independent, so the stage fans out
+// across Params.Parallelism workers.
+//
+// Node space of G_c: [c] (node 0), [r] per landmark, [r,e] per covered
+// (landmark, prefix-edge) pair. Arcs (Lemma 21/22 case analysis):
+//
+//	[c]  → [r]      weight |cr|
+//	[c]  → [r,e]    weight seed(c,r,e)   (§8.2.1 small path through c)
+//	[r'] → [r,e]    weight |r'r|         if e ∉ cr' and e ∉ r'r
+//	[r',e] → [r,e]  weight |r'r|         if [r',e] exists and e ∉ r'r
+//
+// All positions are measured in T_c, where the shared-prefix identity
+// again makes an edge's index the same on every path through it.
+func buildCenterLandmark(sh *ssrp.Shared, ctr *Centers, seed *cuckoo.Table) *centerLandmark {
+	cl := &centerLandmark{
+		ctr:  ctr,
+		rows: make(map[int32]map[int32][]int32, len(ctr.List)),
+	}
+	perCenter := make([]map[int32][]int32, len(ctr.List))
+	sizes := make([][2]int64, len(ctr.List))
+	runParallel(len(ctr.List), sh.Params.Parallelism, func(i int) {
+		perCenter[i], sizes[i] = cl.buildOne(sh, ctr.List[i], seed)
+	})
+	for i, c := range ctr.List {
+		cl.rows[c] = perCenter[i]
+		cl.NumNodes += sizes[i][0]
+		cl.NumArcs += sizes[i][1]
+	}
+	return cl
+}
+
+// buildOne builds and solves G_c, returning the d(c,r,·) rows and the
+// graph's (nodes, arcs) size pair. It must not write shared state:
+// buildCenterLandmark runs it concurrently across centers.
+func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed *cuckoo.Table) (map[int32][]int32, [2]int64) {
+	g := sh.G
+	ctr := cl.ctr
+	tc := ctr.Tree[c]
+	ancC := ctr.Anc[c]
+	budget := ctr.Budget(ctr.Priority(c))
+
+	type lmInfo struct {
+		r        int32
+		node     int32
+		base     int32
+		count    int32
+		pathEdge []int32 // covered prefix edges e_0..e_{count-1} in T_c
+	}
+	infos := make([]lmInfo, 0, len(sh.List))
+	next := int32(1)
+	for _, r := range sh.List {
+		if r == c || !tc.Reachable(r) {
+			continue
+		}
+		infos = append(infos, lmInfo{r: r, node: next})
+		next++
+	}
+	for idx := range infos {
+		in := &infos[idx]
+		l := tc.Dist[in.r]
+		count := budget
+		if l < count {
+			count = l
+		}
+		in.count = count
+		in.base = next
+		next += count
+		// The covered edges are the T_c path *prefix*: walk up from r
+		// and keep the first `count` edges (positions 0..count-1 from
+		// the c side).
+		in.pathEdge = make([]int32, count)
+		x := in.r
+		for j := l - 1; j >= 0; j-- {
+			if j < count {
+				in.pathEdge[j] = tc.ParentEdge[x]
+			}
+			x = tc.Parent[x]
+		}
+	}
+	total := int(next)
+
+	bld := dijkstra.NewBuilder(total, total*4)
+	for idx := range infos {
+		bld.AddArc(0, infos[idx].node, tc.Dist[infos[idx].r])
+	}
+	for idx := range infos {
+		in := &infos[idx]
+		for j := int32(0); j < in.count; j++ {
+			e := in.pathEdge[j]
+			node := in.base + j
+			if w, ok := seed.Get(packCRE(c, in.r, e)); ok {
+				bld.AddArc(0, node, w)
+			}
+			for jdx := range infos {
+				in2 := &infos[jdx]
+				r2 := in2.r
+				if r2 == in.r {
+					continue
+				}
+				dRR := sh.Tree[r2].Dist[in.r] // |r'r|
+				if dRR < 0 {
+					continue
+				}
+				if sh.Anc[r2].EdgeOnRootPath(g, e, in.r) {
+					continue // e on the canonical r'→r path
+				}
+				if !ancC.EdgeOnRootPath(g, e, r2) {
+					bld.AddArc(in2.node, node, dRR)
+				} else if j < in2.count {
+					bld.AddArc(in2.base+j, node, dRR)
+				}
+			}
+		}
+	}
+	sizes := [2]int64{int64(total), int64(bld.NumArcs())}
+	res := bld.Finalize().Run(0)
+
+	rows := make(map[int32][]int32, len(infos))
+	for idx := range infos {
+		in := &infos[idx]
+		row := make([]int32, in.count)
+		for j := int32(0); j < in.count; j++ {
+			d := res.Dist[in.base+j]
+			if d >= int64(rp.Inf) {
+				row[j] = rp.Inf
+			} else {
+				row[j] = int32(d)
+			}
+		}
+		rows[in.r] = row
+	}
+	return rows, sizes
+}
+
+// dCR returns d(c, r, e) where e is a graph edge: |cr| when e is off
+// the canonical (T_c) c→r path, the §8.2.2 value when covered by c's
+// budget, rp.Inf otherwise.
+func (cl *centerLandmark) dCR(sh *ssrp.Shared, c, r int32, e int32) int32 {
+	if c == r {
+		return 0
+	}
+	tc := cl.ctr.Tree[c]
+	if !tc.Reachable(r) {
+		return rp.Inf
+	}
+	if !cl.ctr.Anc[c].EdgeOnRootPath(sh.G, e, r) {
+		return tc.Dist[r]
+	}
+	// e's index on the T_c path toward r is depth(child)−1 in T_c.
+	child, ok := tc.ChildEndpoint(sh.G, e)
+	if !ok {
+		return rp.Inf
+	}
+	j := tc.Dist[child] - 1
+	row := cl.rows[c][r]
+	if j < 0 || j >= int32(len(row)) {
+		return rp.Inf
+	}
+	return row[j]
+}

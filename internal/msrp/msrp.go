@@ -1,0 +1,157 @@
+// Package msrp implements the paper's Multiple Source Replacement Path
+// algorithm (Gupta–Jain–Modi 2020, §8; Theorem 1/26): all replacement
+// path lengths from σ sources in Õ(m√(nσ) + σn²) time.
+//
+// # Pipeline
+//
+// The single-source pipeline (internal/ssrp) needs d(s, r, e) for every
+// landmark r, which it obtains by running the classical single-pair
+// algorithm per landmark — unaffordable for σ sources. §8 replaces that
+// step with the Bernstein–Karger-style center machinery:
+//
+//  1. Sample a center family C_0 … C_K (same distribution as landmarks,
+//     sources forced into C_0); build BFS trees and ancestries
+//     (centers.go).
+//  2. §8.1 — per source s, one auxiliary-graph Dijkstra yields
+//     d(s, c, e) for every center c and the edges within c's budget of
+//     c on the s→c path (sourcecenter.go).
+//  3. §8.2.1 — enumerate the small replacement paths found by the §7.1
+//     Dijkstras of all sources, recording the c→r suffix length of
+//     every center c they pass (centerlandmark.go, the cuckoo table).
+//  4. §8.2.2 — per center c, one auxiliary-graph Dijkstra yields
+//     d(c, r, e) for every landmark r and the edges within c's budget
+//     (centerlandmark.go).
+//  5. Assembly — per (s, r, e): MTC via the interval decomposition
+//     (Lemma 16), the §7.1 small value, and a sound interval-avoidance
+//     candidate; then fixpoint sweeps of the far/near machinery over
+//     landmark targets (assemble.go).
+//  6. The ssrp per-target combine finishes exactly as in the
+//     single-source case, reading the §8-built LenSR.
+//
+// Soundness is unconditional (every candidate dominates a concrete
+// e-avoiding walk); exactness holds w.h.p. via Lemmas 18-25.
+package msrp
+
+import (
+	"msrp/internal/graph"
+	"msrp/internal/rp"
+	"msrp/internal/ssrp"
+)
+
+// Params re-exports the shared parameter type.
+type Params = ssrp.Params
+
+// DefaultParams returns the paper-faithful parameters.
+func DefaultParams() Params { return ssrp.DefaultParams() }
+
+// maxSweeps bounds the landmark fixpoint iteration; two sweeps resolve
+// every dependency chain seen in practice and the loop exits early on
+// convergence anyway.
+const maxSweeps = 3
+
+// Stats extends the ssrp counters with the §8-specific sizes.
+type Stats struct {
+	ssrp.Stats
+
+	// Center family.
+	CenterLevelSizes []int
+	CenterCount      int
+
+	// §8.1 auxiliary graphs (summed over sources).
+	SCNodes int64
+	SCArcs  int64
+
+	// §8.2 auxiliary graphs (summed over centers) and seed table size.
+	CLNodes   int64
+	CLArcs    int64
+	SeedCount int
+
+	// §8.3 auxiliary graphs (PaperBottleneck mode only).
+	BNNodes int64
+	BNArcs  int64
+
+	// Fixpoint sweep behaviour (default mode only).
+	Sweeps        int
+	SweepImproved int64
+}
+
+// Solve computes all replacement path lengths from every source.
+// Results are returned in source order.
+func Solve(g *graph.Graph, sources []int32, p Params) ([]*rp.Result, *Stats, error) {
+	if err := checkPackable(g.NumVertices(), g.NumEdges()); err != nil {
+		return nil, nil, err
+	}
+	sh, err := ssrp.NewShared(g, sources, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{Stats: *sh.NewStats()}
+
+	// Centers (§8 preliminaries).
+	ctr := newCenters(sh, sh.DeriveRNG())
+	stats.CenterCount = len(ctr.List)
+	for k := 0; k <= ctr.Levels.MaxK; k++ {
+		stats.CenterLevelSizes = append(stats.CenterLevelSizes, ctr.Levels.Size(k))
+	}
+
+	// Per-source trees, §7.1 graphs, and §8.1 graphs. Sources are
+	// independent here, so the stage fans out across workers.
+	perSrc := make([]*ssrp.PerSource, len(sources))
+	scs := make([]*sourceCenter, len(sources))
+	runParallel(len(sources), p.Parallelism, func(i int) {
+		ps := sh.NewPerSource(sources[i])
+		ps.BuildSmallNear()
+		perSrc[i] = ps
+		scs[i] = buildSourceCenter(ps, ctr)
+	})
+	for i := range perSrc {
+		stats.AuxNodes += int64(perSrc[i].Small.NumNodes)
+		stats.AuxArcs += int64(perSrc[i].Small.NumArcs)
+		stats.SCNodes += int64(scs[i].NumNodes)
+		stats.SCArcs += int64(scs[i].NumArcs)
+	}
+
+	// §8.2.1 seed table (aggregates over all sources), then §8.2.2.
+	seed := buildSeedTable(perSrc, ctr)
+	stats.SeedCount = seed.Len()
+	cl := buildCenterLandmark(sh, ctr, seed)
+	stats.CLNodes = cl.NumNodes
+	stats.CLArcs = cl.NumArcs
+
+	// Assembly + sweeps + final combine: independent per source again,
+	// with per-source counters merged afterwards.
+	results := make([]*rp.Result, len(perSrc))
+	type perSourceStats struct {
+		combine ssrp.Stats
+		sweeps  int
+		swImp   int64
+		bnNodes int64
+		bnArcs  int64
+	}
+	pss := make([]perSourceStats, len(perSrc))
+	runParallel(len(perSrc), p.Parallelism, func(i int) {
+		ps := perSrc[i]
+		if p.PaperBottleneck {
+			lenSR, bs := assembleLenSRBottleneck(ps, ctr, scs[i], cl)
+			ps.SetLenSR(lenSR)
+			pss[i].bnNodes = int64(bs.NumNodes)
+			pss[i].bnArcs = int64(bs.NumArcs)
+		} else {
+			ps.SetLenSR(assembleLenSR(ps, ctr, scs[i], cl))
+			pss[i].sweeps, pss[i].swImp = sweepLandmarks(ps, maxSweeps)
+		}
+		results[i] = ps.Combine(&pss[i].combine)
+	})
+	for i := range pss {
+		stats.BNNodes += pss[i].bnNodes
+		stats.BNArcs += pss[i].bnArcs
+		if pss[i].sweeps > stats.Sweeps {
+			stats.Sweeps = pss[i].sweeps
+		}
+		stats.SweepImproved += pss[i].swImp
+		stats.Queries += pss[i].combine.Queries
+		stats.FarScans += pss[i].combine.FarScans
+		stats.NearLargeScans += pss[i].combine.NearLargeScans
+	}
+	return results, stats, nil
+}

@@ -1,0 +1,37 @@
+package msrp
+
+import "sync"
+
+// runParallel executes fn(i) for i in [0, n) on up to `workers`
+// goroutines (sequential when workers < 2). Every fn(i) must touch only
+// its own index's state; the MSRP pipeline's per-source and per-center
+// stages have exactly that shape, so the schedule cannot change the
+// output — determinism is preserved regardless of the worker count
+// (asserted by TestParallelDeterminism).
+func runParallel(n, workers int, fn func(i int)) {
+	if workers < 2 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

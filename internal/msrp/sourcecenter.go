@@ -1,0 +1,180 @@
+package msrp
+
+import (
+	"msrp/internal/dijkstra"
+	"msrp/internal/rp"
+	"msrp/internal/ssrp"
+)
+
+// sourceCenter holds the §8.1 output for one source s: replacement path
+// lengths d(s, c, e) from s to every center c, for every edge e among
+// the last Budget(priority(c)) edges of the canonical s→c path (the
+// edges "nearest c", which are the only ones the MTC assembly ever
+// queries — Lemma 18/20).
+type sourceCenter struct {
+	ps  *ssrp.PerSource
+	ctr *Centers
+
+	// start[c] is the first covered path-edge index for center c
+	// (max(0, |sc| − budget)); rows[c][i−start[c]] = d(s,c,e_i).
+	start map[int32]int32
+	rows  map[int32][]int32
+
+	// Aux-graph size counters for the E9 experiment.
+	NumNodes int
+	NumArcs  int
+}
+
+// buildSourceCenter constructs the §8.1 auxiliary graph G_s and solves
+// it with one Dijkstra run.
+//
+// Node space: [s] (the source, node 0), [c] per center, [c,e] per
+// covered (center, path-edge) pair. Arc types, each a sound
+// e-avoiding-walk extension (Lemma 20's case analysis):
+//
+//	[s]  → [c]      weight |sc|             (canonical path)
+//	[s]  → [c,e]    weight w_small(c, e)    (§7.1 small-near value)
+//	[c'] → [c,e]    weight |c'c|            if e ∉ sc' and e ∉ c'c
+//	[c',e] → [c,e]  weight |c'c|            if [c',e] exists and e ∉ c'c
+//
+// The index identity from the shared-prefix property applies: an edge e
+// of T_s on both the s→c and s→c' canonical paths has the same 0-based
+// index i on both, so [c',e] is c”s block at offset i−start[c'].
+func buildSourceCenter(ps *ssrp.PerSource, ctr *Centers) *sourceCenter {
+	g := ps.Sh.G
+	ts := ps.Ts
+	sc := &sourceCenter{
+		ps:    ps,
+		ctr:   ctr,
+		start: make(map[int32]int32, len(ctr.List)),
+		rows:  make(map[int32][]int32, len(ctr.List)),
+	}
+
+	// Node layout: 0 = [s]; 1..|C| = [c]; then per-center [c,e] blocks.
+	type centerInfo struct {
+		c        int32
+		node     int32 // [c] node id
+		base     int32 // first [c,e] node id
+		start    int32 // first covered path-edge index
+		count    int32
+		pathEdge []int32 // covered edges e_start..e_{|sc|-1}
+	}
+	infos := make([]centerInfo, 0, len(ctr.List))
+	next := int32(1)
+	for _, c := range ctr.List {
+		if c == ps.S || !ts.Reachable(c) {
+			continue
+		}
+		infos = append(infos, centerInfo{c: c, node: next})
+		next++
+	}
+	for idx := range infos {
+		in := &infos[idx]
+		l := ts.Dist[in.c]
+		b := ctr.Budget(ctr.Priority(in.c))
+		start := l - b
+		if start < 0 {
+			start = 0
+		}
+		in.start = start
+		in.count = l - start
+		in.base = next
+		next += in.count
+		// Walk up from c collecting the covered suffix of the path.
+		in.pathEdge = make([]int32, in.count)
+		x := in.c
+		for i := l - 1; i >= start; i-- {
+			in.pathEdge[i-start] = ts.ParentEdge[x]
+			x = ts.Parent[x]
+		}
+		sc.start[in.c] = start
+	}
+	total := int(next)
+
+	bld := dijkstra.NewBuilder(total, total*4)
+	// [s] → [c] arcs.
+	for idx := range infos {
+		bld.AddArc(0, infos[idx].node, ts.Dist[infos[idx].c])
+	}
+	// Per [c,e] arcs.
+	for idx := range infos {
+		in := &infos[idx]
+		for off := int32(0); off < in.count; off++ {
+			i := in.start + off
+			e := in.pathEdge[off]
+			node := in.base + off
+			// [s] → [c,e] with the §7.1 small value (target = c).
+			if w := ps.Small.Value(in.c, int(i)); w < rp.Inf {
+				bld.AddArc(0, node, w)
+			}
+			// [c'] and [c',e] predecessors.
+			for jdx := range infos {
+				in2 := &infos[jdx]
+				c2 := in2.c
+				if c2 == in.c {
+					continue
+				}
+				d2c := ctr.Tree[c2].Dist[in.c] // |c'c|
+				if d2c < 0 {
+					continue
+				}
+				if ctr.Anc[c2].EdgeOnRootPath(g, e, in.c) {
+					continue // e on the canonical c'→c path
+				}
+				if !ps.AncS.EdgeOnRootPath(g, e, c2) {
+					// e not on s→c': the [c'] node's canonical prefix
+					// avoids e.
+					bld.AddArc(in2.node, node, d2c)
+				} else if i >= in2.start && i < ts.Dist[c2] {
+					// e on s→c' within c''s covered block.
+					bld.AddArc(in2.base+(i-in2.start), node, d2c)
+				}
+			}
+		}
+	}
+	sc.NumNodes = total
+	sc.NumArcs = bld.NumArcs()
+	res := bld.Finalize().Run(0)
+
+	for idx := range infos {
+		in := &infos[idx]
+		row := make([]int32, in.count)
+		for off := int32(0); off < in.count; off++ {
+			d := res.Dist[in.base+off]
+			if d >= int64(rp.Inf) {
+				row[off] = rp.Inf
+			} else {
+				row[off] = int32(d)
+			}
+		}
+		sc.rows[in.c] = row
+	}
+	return sc
+}
+
+// dSC returns d(s, c, e) for path edge e with shared-prefix index i:
+// the canonical |sc| when e is off the s→c path, the §8.1 value when
+// covered, rp.Inf when outside the budget (the lemmas make that case
+// irrelevant w.h.p.).
+func (sc *sourceCenter) dSC(c int32, i int, e int32) int32 {
+	ps := sc.ps
+	if c == ps.S {
+		return 0
+	}
+	if !ps.Ts.Reachable(c) {
+		return rp.Inf
+	}
+	if !ps.AncS.EdgeOnRootPath(ps.Sh.G, e, c) {
+		return ps.Ts.Dist[c]
+	}
+	start, ok := sc.start[c]
+	if !ok || int32(i) < start {
+		return rp.Inf
+	}
+	row := sc.rows[c]
+	off := int32(i) - start
+	if off >= int32(len(row)) {
+		return rp.Inf
+	}
+	return row[off]
+}

@@ -1,0 +1,148 @@
+package naive
+
+import (
+	"testing"
+
+	"msrp/internal/graph"
+	"msrp/internal/rp"
+	"msrp/internal/xrand"
+)
+
+func TestOnePairCycle(t *testing.T) {
+	// Avoiding edge {0,1} on C5 from 0 to 1 forces the 4-edge detour.
+	g := graph.Cycle(5)
+	e, ok := g.EdgeID(0, 1)
+	if !ok {
+		t.Fatal("edge lookup failed")
+	}
+	if got := OnePair(g, 0, 1, e); got != 4 {
+		t.Fatalf("got %d, want 4", got)
+	}
+}
+
+func TestOnePairBridge(t *testing.T) {
+	g := graph.Path(4)
+	e, _ := g.EdgeID(1, 2)
+	if got := OnePair(g, 0, 3, e); got != rp.Inf {
+		t.Fatalf("got %d, want Inf", got)
+	}
+}
+
+func TestOnePairSelf(t *testing.T) {
+	g := graph.Path(4)
+	if got := OnePair(g, 2, 2, 0); got != 0 {
+		t.Fatalf("got %d, want 0", got)
+	}
+}
+
+func TestOnePairAvoidanceIrrelevantEdge(t *testing.T) {
+	// Avoiding an edge not on any s-t shortest path leaves the distance
+	// unchanged.
+	g := graph.Grid(3, 3)
+	e, _ := g.EdgeID(7, 8) // far corner edge
+	if got := OnePair(g, 0, 1, e); got != 1 {
+		t.Fatalf("got %d, want 1", got)
+	}
+}
+
+func TestSSRPSelfConsistent(t *testing.T) {
+	// SSRP's batched answers must equal individual OnePair queries.
+	rng := xrand.New(1)
+	for trial := 0; trial < 5; trial++ {
+		n := 15 + rng.Intn(15)
+		g := graph.RandomConnected(rng, n, n+rng.Intn(n))
+		s := int32(rng.Intn(n))
+		res := SSRP(g, s)
+		for tt := int32(0); tt < int32(n); tt++ {
+			edges := res.Tree.PathEdgesTo(tt)
+			for i, e := range edges {
+				want := OnePair(g, s, tt, e)
+				if got := res.Avoid(tt, i); got != want {
+					t.Fatalf("trial %d s=%d t=%d i=%d: batched %d, single %d",
+						trial, s, tt, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSSRPRowShapes(t *testing.T) {
+	g := graph.Grid(3, 4)
+	res := SSRP(g, 0)
+	for tt := int32(0); tt < 12; tt++ {
+		want := int(res.Tree.Dist[tt])
+		if tt == 0 {
+			want = 0
+		}
+		if len(res.Len[tt]) != want {
+			t.Fatalf("row %d has %d entries, want %d", tt, len(res.Len[tt]), want)
+		}
+	}
+	if res.NumQueries() == 0 {
+		t.Fatal("no queries answered")
+	}
+}
+
+func TestSSRPDisconnected(t *testing.T) {
+	b := graph.NewBuilder(5)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 2)
+	_ = b.AddEdge(2, 0)
+	g := b.MustBuild()
+	res := SSRP(g, 0)
+	if len(res.Len[3]) != 0 || len(res.Len[4]) != 0 {
+		t.Fatal("unreachable rows should be empty")
+	}
+}
+
+func TestMSRPAllSources(t *testing.T) {
+	g := graph.Cycle(6)
+	results := MSRP(g, []int32{0, 2, 5})
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, s := range []int32{0, 2, 5} {
+		if results[i].Source != s {
+			t.Fatalf("result %d source %d", i, results[i].Source)
+		}
+		// On C6, avoiding a path edge gives the 6-d(s,t) detour.
+		for tt := int32(0); tt < 6; tt++ {
+			for i2 := range results[i].Len[tt] {
+				want := 6 - results[i].Tree.Dist[tt]
+				if got := results[i].Avoid(tt, i2); got != want {
+					t.Fatalf("s=%d t=%d: got %d want %d", s, tt, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDiffAndCountMismatches(t *testing.T) {
+	g := graph.Cycle(5)
+	a := SSRP(g, 0)
+	b := SSRP(g, 0)
+	if d := rp.Diff(a, b); d != "" {
+		t.Fatalf("identical results diff: %s", d)
+	}
+	mis, total := rp.CountMismatches(a, b)
+	if mis != 0 || total == 0 {
+		t.Fatalf("mis=%d total=%d", mis, total)
+	}
+	b.Len[1][0] = 99
+	if d := rp.Diff(a, b); d == "" {
+		t.Fatal("mutated result should diff")
+	}
+	mis, _ = rp.CountMismatches(a, b)
+	if mis != 1 {
+		t.Fatalf("mis = %d, want 1", mis)
+	}
+}
+
+func BenchmarkNaiveSSRP(b *testing.B) {
+	g := graph.RandomConnected(xrand.New(1), 300, 900)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SSRP(g, int32(i%300))
+	}
+}

@@ -1,0 +1,97 @@
+// Package pqueue provides a minimal binary min-heap used by the
+// Dijkstra runs over the paper's auxiliary graphs.
+//
+// The heap stores (key, value) pairs where key is an int64 priority
+// (a path length) and value an int32 node id. It is deliberately not
+// an indexed heap: Dijkstra uses lazy deletion (push duplicates, skip
+// stale pops), which benchmarks faster than decrease-key for the sparse
+// auxiliary graphs this repository builds, and keeps the structure
+// trivially correct.
+package pqueue
+
+// Item is a heap entry: Key orders the heap, Value identifies the node.
+type Item struct {
+	Key   int64
+	Value int32
+}
+
+// Heap is a binary min-heap of Items ordered by Key (ties broken by
+// Value for determinism). The zero value is an empty heap ready to use.
+type Heap struct {
+	items []Item
+}
+
+// Len returns the number of entries.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Reset empties the heap, retaining capacity.
+func (h *Heap) Reset() { h.items = h.items[:0] }
+
+// Grow reserves capacity for at least n additional entries.
+func (h *Heap) Grow(n int) {
+	if cap(h.items)-len(h.items) < n {
+		next := make([]Item, len(h.items), len(h.items)+n)
+		copy(next, h.items)
+		h.items = next
+	}
+}
+
+// Push inserts an entry.
+func (h *Heap) Push(key int64, value int32) {
+	h.items = append(h.items, Item{Key: key, Value: value})
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum entry. It panics on an empty
+// heap; callers always guard with Len.
+func (h *Heap) Pop() Item {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Peek returns the minimum entry without removing it.
+func (h *Heap) Peek() Item { return h.items[0] }
+
+func (h *Heap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.Value < b.Value
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

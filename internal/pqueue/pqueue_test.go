@@ -1,0 +1,145 @@
+package pqueue
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"msrp/internal/xrand"
+)
+
+func TestPushPopSorted(t *testing.T) {
+	var h Heap
+	keys := []int64{5, 3, 8, 1, 9, 2, 7}
+	for i, k := range keys {
+		h.Push(k, int32(i))
+	}
+	want := append([]int64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for _, w := range want {
+		if got := h.Pop(); got.Key != w {
+			t.Fatalf("popped %d, want %d", got.Key, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("len = %d after draining", h.Len())
+	}
+}
+
+func TestTieBreakByValue(t *testing.T) {
+	var h Heap
+	h.Push(4, 30)
+	h.Push(4, 10)
+	h.Push(4, 20)
+	if v := h.Pop().Value; v != 10 {
+		t.Fatalf("first tie pop = %d", v)
+	}
+	if v := h.Pop().Value; v != 20 {
+		t.Fatalf("second tie pop = %d", v)
+	}
+	if v := h.Pop().Value; v != 30 {
+		t.Fatalf("third tie pop = %d", v)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Heap
+	h.Push(1, 1)
+	h.Push(2, 2)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("Reset did not empty heap")
+	}
+	h.Push(9, 9)
+	if got := h.Pop(); got.Key != 9 {
+		t.Fatal("heap unusable after Reset")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var h Heap
+	h.Push(7, 1)
+	h.Push(3, 2)
+	if h.Peek().Key != 3 {
+		t.Fatal("Peek wrong")
+	}
+	if h.Len() != 2 {
+		t.Fatal("Peek must not remove")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	var h Heap
+	h.Grow(100)
+	for i := 0; i < 100; i++ {
+		h.Push(int64(100-i), int32(i))
+	}
+	if h.Len() != 100 {
+		t.Fatal("push after Grow failed")
+	}
+	if h.Pop().Key != 1 {
+		t.Fatal("min wrong after Grow")
+	}
+}
+
+func TestQuickHeapOrder(t *testing.T) {
+	f := func(raw []int16) bool {
+		var h Heap
+		for i, k := range raw {
+			h.Push(int64(k), int32(i))
+		}
+		prev := int64(-1 << 62)
+		for h.Len() > 0 {
+			it := h.Pop()
+			if it.Key < prev {
+				return false
+			}
+			prev = it.Key
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomInterleaving(t *testing.T) {
+	rng := xrand.New(1)
+	var h Heap
+	var model []int64
+	for op := 0; op < 5000; op++ {
+		if h.Len() == 0 || rng.Intn(2) == 0 {
+			k := int64(rng.Intn(1000))
+			h.Push(k, int32(op))
+			model = append(model, k)
+		} else {
+			it := h.Pop()
+			// Find and remove the minimum from the model.
+			minIdx := 0
+			for i, k := range model {
+				if k < model[minIdx] {
+					minIdx = i
+				}
+			}
+			if it.Key != model[minIdx] {
+				t.Fatalf("op %d: popped %d, model min %d", op, it.Key, model[minIdx])
+			}
+			model[minIdx] = model[len(model)-1]
+			model = model[:len(model)-1]
+		}
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := xrand.New(1)
+	var h Heap
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(int64(rng.Intn(1<<20)), int32(i))
+		if h.Len() > 1024 {
+			for h.Len() > 0 {
+				h.Pop()
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package preserver
+
+import (
+	"math"
+	"testing"
+
+	"msrp/internal/graph"
+	"msrp/internal/ssrp"
+	"msrp/internal/xrand"
+)
+
+func testParams(seed uint64) ssrp.Params {
+	p := ssrp.DefaultParams()
+	p.Seed = seed
+	p.SampleBoost = 12
+	p.SuffixScale = 0.25
+	return p
+}
+
+func TestPreserverPropertyRandom(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 6; trial++ {
+		n := 20 + rng.Intn(25)
+		g := graph.RandomConnected(rng, n, n+rng.Intn(2*n))
+		r, err := Build(g, int32(rng.Intn(n)), testParams(uint64(trial)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, r); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPreserverPropertyFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		s    int32
+	}{
+		{"cycle", graph.Cycle(24), 0},
+		{"grid", graph.Grid(4, 6), 5},
+		{"barbell", graph.Barbell(4, 3), 0},
+		{"complete", graph.Complete(9), 2},
+		{"caterpillar", graph.Caterpillar(6, 2), 0},
+	}
+	for i, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r, err := Build(c.g, c.s, testParams(uint64(i)+40))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(c.g, r); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPreserverSparsifiesDenseGraphs(t *testing.T) {
+	// On K_n the preserver must be much smaller than the graph: the
+	// Parter–Peleg bound allows O(n^{3/2}) but K_n has Θ(n²) edges.
+	n := 40
+	g := graph.Complete(n)
+	r, err := Build(g, 0, testParams(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 4 * math.Pow(float64(n), 1.5)
+	if float64(len(r.Edges)) > bound {
+		t.Fatalf("preserver has %d edges, beyond 4·n^1.5 = %.0f", len(r.Edges), bound)
+	}
+	if len(r.Edges) >= g.NumEdges() {
+		t.Fatalf("preserver did not sparsify: %d of %d edges", len(r.Edges), g.NumEdges())
+	}
+	if err := Verify(g, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreserverOnTreeIsTree(t *testing.T) {
+	// A tree has no replacement paths; the preserver is the tree.
+	g := graph.Caterpillar(5, 3)
+	r, err := Build(g, 0, testParams(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Edges) != g.NumEdges() || r.PathEdges != 0 {
+		t.Fatalf("tree preserver: %d edges (%d from paths), want %d tree edges only",
+			len(r.Edges), r.PathEdges, g.NumEdges())
+	}
+}
+
+func TestSubgraphStructure(t *testing.T) {
+	g := graph.Cycle(12)
+	r, err := Build(g, 0, testParams(70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Subgraph(g)
+	if h.NumVertices() != g.NumVertices() {
+		t.Fatal("vertex set changed")
+	}
+	// The full cycle is needed: every edge serves as some replacement.
+	if h.NumEdges() != 12 {
+		t.Fatalf("cycle preserver has %d edges, want 12", h.NumEdges())
+	}
+}

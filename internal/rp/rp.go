@@ -1,0 +1,131 @@
+// Package rp defines the shared output representation for replacement
+// path computations.
+//
+// Every solver in the repository (brute force, classical single-pair,
+// SSRP, MSRP) produces the same shape of answer so tests and benchmarks
+// can compare them directly: for a source s and every target t, the
+// length of the shortest s→t path avoiding each edge of the canonical
+// (BFS-tree) s→t path, in order from the source.
+package rp
+
+import (
+	"fmt"
+	"math"
+
+	"msrp/internal/bfs"
+)
+
+// Inf is the length reported when no replacement path exists (the
+// avoided edge is a bridge separating s from t).
+const Inf int32 = math.MaxInt32
+
+// Result holds all replacement path lengths from one source.
+type Result struct {
+	// Source is the source vertex s.
+	Source int32
+
+	// Tree is the canonical BFS tree of s; replacement paths are
+	// defined against its tree paths.
+	Tree *bfs.Tree
+
+	// Len[t][i] is |st ⋄ e_i| where e_i is the i-th edge (0-based,
+	// counted from s) of the canonical s→t path. len(Len[t]) equals
+	// Tree.Dist[t] for reachable t and 0 otherwise. A value of Inf
+	// means no replacement path exists.
+	Len [][]int32
+}
+
+// NewResult allocates a Result for the given tree with every length
+// initialized to Inf. The per-target rows are carved out of one backing
+// slice to keep the allocation count independent of n.
+func NewResult(tree *bfs.Tree) *Result {
+	n := len(tree.Dist)
+	total := 0
+	for t := 0; t < n; t++ {
+		if d := tree.Dist[t]; d > 0 {
+			total += int(d)
+		}
+	}
+	backing := make([]int32, total)
+	for i := range backing {
+		backing[i] = Inf
+	}
+	res := &Result{
+		Source: tree.Root,
+		Tree:   tree,
+		Len:    make([][]int32, n),
+	}
+	cursor := 0
+	for t := 0; t < n; t++ {
+		d := int(tree.Dist[t])
+		if d <= 0 {
+			continue
+		}
+		res.Len[t] = backing[cursor : cursor+d : cursor+d]
+		cursor += d
+	}
+	return res
+}
+
+// Avoid returns |s,t ⋄ e_i| for the i-th path edge toward t. It panics
+// on out-of-range indices (always a caller bug in this repository).
+func (r *Result) Avoid(t int32, i int) int32 {
+	return r.Len[t][i]
+}
+
+// NumQueries returns the total number of (t, e) pairs answered, which
+// is the paper's Ω(σn²)-style output-size term for this source.
+func (r *Result) NumQueries() int {
+	total := 0
+	for _, row := range r.Len {
+		total += len(row)
+	}
+	return total
+}
+
+// Diff compares two results for the same source and returns a
+// description of the first mismatch, or "" if they agree. Used by the
+// cross-validation tests and the msrp-verify CLI.
+func Diff(a, b *Result) string {
+	if a.Source != b.Source {
+		return fmt.Sprintf("sources differ: %d vs %d", a.Source, b.Source)
+	}
+	if len(a.Len) != len(b.Len) {
+		return fmt.Sprintf("vertex counts differ: %d vs %d", len(a.Len), len(b.Len))
+	}
+	for t := range a.Len {
+		if len(a.Len[t]) != len(b.Len[t]) {
+			return fmt.Sprintf("path length to %d differs: %d vs %d edges",
+				t, len(a.Len[t]), len(b.Len[t]))
+		}
+		for i := range a.Len[t] {
+			if a.Len[t][i] != b.Len[t][i] {
+				return fmt.Sprintf("d(%d,%d,e_%d) differs: %s vs %s",
+					a.Source, t, i, fmtLen(a.Len[t][i]), fmtLen(b.Len[t][i]))
+			}
+		}
+	}
+	return ""
+}
+
+// CountMismatches returns how many (t, i) entries differ between two
+// results for the same tree — the exactness-rate metric of EXPERIMENTS
+// E5 — along with the total number of entries compared.
+func CountMismatches(a, b *Result) (mismatched, total int) {
+	for t := range a.Len {
+		for i := range a.Len[t] {
+			total++
+			if a.Len[t][i] != b.Len[t][i] {
+				mismatched++
+			}
+		}
+	}
+	return mismatched, total
+}
+
+func fmtLen(v int32) string {
+	if v == Inf {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,108 @@
+package rp
+
+import (
+	"testing"
+
+	"msrp/internal/bfs"
+	"msrp/internal/graph"
+	"msrp/internal/xrand"
+)
+
+func TestNewResultShapes(t *testing.T) {
+	g := graph.Grid(3, 4)
+	tree := bfs.New(g, 0)
+	res := NewResult(tree)
+	if res.Source != 0 || res.Tree != tree {
+		t.Fatal("header wrong")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		want := int(tree.Dist[v])
+		if v == 0 {
+			want = 0
+		}
+		if len(res.Len[v]) != want {
+			t.Fatalf("row %d: %d entries, want %d", v, len(res.Len[v]), want)
+		}
+		for i, x := range res.Len[v] {
+			if x != Inf {
+				t.Fatalf("row %d[%d] not initialized to Inf", v, i)
+			}
+		}
+	}
+}
+
+func TestNewResultUnreachableRows(t *testing.T) {
+	b := graph.NewBuilder(5)
+	_ = b.AddEdge(0, 1)
+	g := b.MustBuild()
+	res := NewResult(bfs.New(g, 0))
+	for _, v := range []int{2, 3, 4} {
+		if len(res.Len[v]) != 0 {
+			t.Fatalf("unreachable row %d not empty", v)
+		}
+	}
+	if res.NumQueries() != 1 {
+		t.Fatalf("NumQueries = %d, want 1", res.NumQueries())
+	}
+}
+
+func TestRowsShareBackingButNotRanges(t *testing.T) {
+	// Rows are carved from one backing slice; writing one row must not
+	// leak into its neighbor (full-slice-expression capacity check).
+	g := graph.Path(5)
+	res := NewResult(bfs.New(g, 0))
+	row1 := res.Len[1]
+	row1 = append(row1, 99) // must reallocate, not clobber row 2
+	_ = row1
+	if res.Len[2][0] != Inf {
+		t.Fatal("append to one row clobbered the next")
+	}
+}
+
+func TestAvoidAccessor(t *testing.T) {
+	g := graph.Path(4)
+	res := NewResult(bfs.New(g, 0))
+	res.Len[3][1] = 7
+	if res.Avoid(3, 1) != 7 {
+		t.Fatal("Avoid accessor wrong")
+	}
+}
+
+func TestDiffMessages(t *testing.T) {
+	g := graph.Cycle(6)
+	a := NewResult(bfs.New(g, 0))
+	b := NewResult(bfs.New(g, 0))
+	if d := Diff(a, b); d != "" {
+		t.Fatalf("fresh results differ: %s", d)
+	}
+	b.Len[2][0] = 5
+	if d := Diff(a, b); d == "" {
+		t.Fatal("difference not reported")
+	}
+	c := NewResult(bfs.New(g, 1))
+	if d := Diff(a, c); d == "" {
+		t.Fatal("source mismatch not reported")
+	}
+}
+
+func TestCountMismatchesTotals(t *testing.T) {
+	rng := xrand.New(1)
+	g := graph.RandomConnected(rng, 30, 60)
+	a := NewResult(bfs.New(g, 3))
+	b := NewResult(bfs.New(g, 3))
+	mis, total := CountMismatches(a, b)
+	if mis != 0 || total != a.NumQueries() {
+		t.Fatalf("mis=%d total=%d want 0,%d", mis, total, a.NumQueries())
+	}
+	flipped := 0
+	for v := range b.Len {
+		if len(b.Len[v]) > 0 {
+			b.Len[v][0] = 1
+			flipped++
+		}
+	}
+	mis, _ = CountMismatches(a, b)
+	if mis != flipped {
+		t.Fatalf("mis=%d want %d", mis, flipped)
+	}
+}

@@ -1,0 +1,166 @@
+// Package sample draws the leveled random vertex sets at the heart of
+// the paper's algorithm: landmark sets L_k (Definition 3) and center
+// sets C_k (§8).
+//
+// Level k samples each vertex independently with probability
+//
+//	p_k = min(1, boost · 4/2^k · √(σ/n)),    0 ≤ k ≤ ⌈log₂ √(nσ)⌉,
+//
+// so that (Lemma 4) |L_k| = Õ(√(nσ)/2^k) w.h.p. and any path segment of
+// length ≥ 2^k·√(n/σ)·log n contains a level-k vertex w.h.p. (Lemma 9).
+// boost = 1 is the paper's constant; tests raise it so the w.h.p.
+// guarantees hold at toy sizes.
+//
+// Centers reuse the same distribution; a vertex's *priority* is the
+// highest level that sampled it (the paper is ambiguous when a vertex
+// lands in several C_k; taking the maximum preserves every lemma, since
+// Lemma 18 only needs "priority ≥ k+1" hits on long segments).
+package sample
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"msrp/internal/xrand"
+)
+
+// Levels is a family of leveled random vertex sets.
+type Levels struct {
+	// N and Sigma record the parameters the probabilities derive from.
+	N, Sigma int
+
+	// MaxK is the largest level index; levels run 0..MaxK inclusive.
+	MaxK int
+
+	// Prob[k] is the sampling probability of level k (after boost and
+	// clamping).
+	Prob []float64
+
+	sets     [][]int32 // per-level sorted members
+	maxLevel []int8    // per-vertex highest level, -1 if unsampled
+	union    []int32   // sorted union of all levels
+}
+
+// New draws a leveled family over n vertices with source count sigma,
+// consuming randomness from rng. forced vertices (the paper adds all
+// sources) are inserted into level 0 deterministically.
+func New(rng *xrand.RNG, n, sigma int, boost float64, forced []int32) *Levels {
+	if n <= 0 {
+		panic(fmt.Sprintf("sample: n = %d", n))
+	}
+	if sigma < 1 {
+		sigma = 1
+	}
+	if boost <= 0 {
+		boost = 1
+	}
+	l := &Levels{
+		N:        n,
+		Sigma:    sigma,
+		MaxK:     maxLevelIndex(n, sigma),
+		maxLevel: make([]int8, n),
+	}
+	for i := range l.maxLevel {
+		l.maxLevel[i] = -1
+	}
+	l.Prob = make([]float64, l.MaxK+1)
+	l.sets = make([][]int32, l.MaxK+1)
+	base := 4 * math.Sqrt(float64(sigma)/float64(n)) * boost
+	for k := 0; k <= l.MaxK; k++ {
+		p := base / float64(int64(1)<<uint(k))
+		if p > 1 {
+			p = 1
+		}
+		l.Prob[k] = p
+		set := make([]int32, 0, int(p*float64(n))+8)
+		for v := 0; v < n; v++ {
+			if rng.Bernoulli(p) {
+				set = append(set, int32(v))
+				if int8(k) > l.maxLevel[v] {
+					l.maxLevel[v] = int8(k)
+				}
+			}
+		}
+		l.sets[k] = set
+	}
+	for _, v := range forced {
+		if v < 0 || int(v) >= n {
+			panic(fmt.Sprintf("sample: forced vertex %d out of range", v))
+		}
+		if !contains(l.sets[0], v) {
+			l.sets[0] = insertSorted(l.sets[0], v)
+		}
+		if l.maxLevel[v] < 0 {
+			l.maxLevel[v] = 0
+		}
+	}
+	l.union = l.buildUnion()
+	return l
+}
+
+// maxLevelIndex returns ⌈log₂ √(nσ)⌉, the paper's top level.
+func maxLevelIndex(n, sigma int) int {
+	root := math.Sqrt(float64(n) * float64(sigma))
+	k := int(math.Ceil(math.Log2(root)))
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// Level returns the sorted members of level k (aliases internal state;
+// treat as read-only).
+func (l *Levels) Level(k int) []int32 {
+	if k < 0 || k > l.MaxK {
+		return nil
+	}
+	return l.sets[k]
+}
+
+// Union returns the sorted union of all levels (the paper's L or C).
+func (l *Levels) Union() []int32 { return l.union }
+
+// MaxLevel returns the highest level containing v (the center
+// "priority"), or -1 if v was never sampled.
+func (l *Levels) MaxLevel(v int32) int { return int(l.maxLevel[v]) }
+
+// IsMember reports whether v belongs to any level.
+func (l *Levels) IsMember(v int32) bool { return l.maxLevel[v] >= 0 }
+
+// Size returns |Level(k)|.
+func (l *Levels) Size(k int) int { return len(l.sets[k]) }
+
+func (l *Levels) buildUnion() []int32 {
+	seen := make(map[int32]struct{})
+	for _, set := range l.sets {
+		for _, v := range set {
+			seen[v] = struct{}{}
+		}
+	}
+	u := make([]int32, 0, len(seen))
+	for v := range seen {
+		u = append(u, v)
+	}
+	sort.Slice(u, func(i, j int) bool { return u[i] < u[j] })
+	return u
+}
+
+func contains(sorted []int32, v int32) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+	return i < len(sorted) && sorted[i] == v
+}
+
+func insertSorted(sorted []int32, v int32) []int32 {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+	sorted = append(sorted, 0)
+	copy(sorted[i+1:], sorted[i:])
+	sorted[i] = v
+	return sorted
+}
+
+// ExpectedSize returns the expected |Level(k)| = n·p_k, used by the
+// Lemma 4 experiment to compare measured sizes against the bound.
+func (l *Levels) ExpectedSize(k int) float64 {
+	return float64(l.N) * l.Prob[k]
+}

@@ -1,0 +1,195 @@
+package sample
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"msrp/internal/xrand"
+)
+
+func TestLevelsSortedAndInRange(t *testing.T) {
+	rng := xrand.New(1)
+	l := New(rng, 500, 4, 1, nil)
+	for k := 0; k <= l.MaxK; k++ {
+		set := l.Level(k)
+		if !sort.SliceIsSorted(set, func(i, j int) bool { return set[i] < set[j] }) {
+			t.Fatalf("level %d not sorted", k)
+		}
+		for _, v := range set {
+			if v < 0 || v >= 500 {
+				t.Fatalf("level %d member %d out of range", k, v)
+			}
+		}
+	}
+}
+
+func TestMaxLevelConsistent(t *testing.T) {
+	rng := xrand.New(2)
+	l := New(rng, 300, 2, 1, nil)
+	// MaxLevel must be the highest level whose set contains the vertex.
+	for v := int32(0); v < 300; v++ {
+		want := -1
+		for k := 0; k <= l.MaxK; k++ {
+			set := l.Level(k)
+			i := sort.Search(len(set), func(i int) bool { return set[i] >= v })
+			if i < len(set) && set[i] == v && k > want {
+				want = k
+			}
+		}
+		if got := l.MaxLevel(v); got != want {
+			t.Fatalf("MaxLevel(%d) = %d, want %d", v, got, want)
+		}
+		if l.IsMember(v) != (want >= 0) {
+			t.Fatalf("IsMember(%d) inconsistent", v)
+		}
+	}
+}
+
+func TestForcedVerticesInLevel0(t *testing.T) {
+	rng := xrand.New(3)
+	forced := []int32{7, 42, 7, 199}
+	l := New(rng, 200, 3, 1, forced)
+	set := l.Level(0)
+	for _, f := range forced {
+		i := sort.Search(len(set), func(i int) bool { return set[i] >= f })
+		if i >= len(set) || set[i] != f {
+			t.Fatalf("forced vertex %d missing from level 0", f)
+		}
+		if l.MaxLevel(f) < 0 {
+			t.Fatalf("forced vertex %d has no level", f)
+		}
+	}
+	// No duplicates even though 7 was forced twice.
+	for i := 1; i < len(set); i++ {
+		if set[i] == set[i-1] {
+			t.Fatalf("duplicate %d in level 0", set[i])
+		}
+	}
+}
+
+func TestUnionCoversAllLevels(t *testing.T) {
+	rng := xrand.New(4)
+	l := New(rng, 400, 4, 1, []int32{0})
+	inUnion := map[int32]bool{}
+	for _, v := range l.Union() {
+		inUnion[v] = true
+	}
+	for k := 0; k <= l.MaxK; k++ {
+		for _, v := range l.Level(k) {
+			if !inUnion[v] {
+				t.Fatalf("level %d member %d missing from union", k, v)
+			}
+		}
+	}
+	u := l.Union()
+	for i := 1; i < len(u); i++ {
+		if u[i] <= u[i-1] {
+			t.Fatal("union not strictly sorted")
+		}
+	}
+}
+
+func TestLevelCount(t *testing.T) {
+	// MaxK = ceil(log2(sqrt(n*sigma))).
+	cases := []struct {
+		n, sigma, want int
+	}{
+		{1, 1, 0},
+		{4, 1, 1},
+		{16, 1, 2},
+		{16, 4, 3},
+		{1024, 1, 5},
+		{1024, 4, 6},
+	}
+	rng := xrand.New(5)
+	for _, c := range cases {
+		l := New(rng, c.n, c.sigma, 1, nil)
+		if l.MaxK != c.want {
+			t.Fatalf("n=%d sigma=%d: MaxK = %d, want %d", c.n, c.sigma, l.MaxK, c.want)
+		}
+	}
+}
+
+func TestProbabilitiesHalve(t *testing.T) {
+	rng := xrand.New(6)
+	l := New(rng, 10000, 4, 1, nil)
+	for k := 1; k <= l.MaxK; k++ {
+		if l.Prob[k-1] < 1 { // below the clamp, exact halving
+			ratio := l.Prob[k] / l.Prob[k-1]
+			if math.Abs(ratio-0.5) > 1e-12 {
+				t.Fatalf("p_%d/p_%d = %v, want 0.5", k, k-1, ratio)
+			}
+		}
+	}
+}
+
+func TestLemma4SizeConcentration(t *testing.T) {
+	// Lemma 4: |L_k| concentrates around E = 4√(nσ)/2^k. With many
+	// trials the average must be within 10% of E, and no single draw
+	// beyond the (1+log n) Chernoff envelope the proof uses.
+	const n, sigma, trials = 5000, 4, 30
+	rng := xrand.New(7)
+	logn := math.Log2(float64(n))
+	for k := 0; k <= 3; k++ {
+		expected := 4 * math.Sqrt(float64(n)*float64(sigma)) / float64(int(1)<<uint(k))
+		sum := 0.0
+		for tr := 0; tr < trials; tr++ {
+			l := New(rng, n, sigma, 1, nil)
+			size := float64(l.Size(k))
+			sum += size
+			if size > (1+logn)*expected {
+				t.Fatalf("k=%d trial %d: |L_k| = %v beyond Chernoff envelope %v",
+					k, tr, size, (1+logn)*expected)
+			}
+		}
+		avg := sum / trials
+		if math.Abs(avg-expected)/expected > 0.10 {
+			t.Fatalf("k=%d: mean size %v, expected %v", k, avg, expected)
+		}
+	}
+}
+
+func TestBoostSaturates(t *testing.T) {
+	rng := xrand.New(8)
+	l := New(rng, 100, 1, 1000, nil)
+	if l.Prob[0] != 1 {
+		t.Fatalf("boosted p_0 = %v, want clamped 1", l.Prob[0])
+	}
+	if l.Size(0) != 100 {
+		t.Fatalf("saturated level 0 has %d members, want all 100", l.Size(0))
+	}
+}
+
+func TestDeterminismPerSeed(t *testing.T) {
+	a := New(xrand.New(9), 300, 2, 1, []int32{5})
+	b := New(xrand.New(9), 300, 2, 1, []int32{5})
+	for k := 0; k <= a.MaxK; k++ {
+		sa, sb := a.Level(k), b.Level(k)
+		if len(sa) != len(sb) {
+			t.Fatalf("level %d sizes differ", k)
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("level %d differs at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestExpectedSize(t *testing.T) {
+	rng := xrand.New(10)
+	l := New(rng, 900, 1, 1, nil)
+	want := float64(900) * l.Prob[0]
+	if got := l.ExpectedSize(0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ExpectedSize(0) = %v, want %v", got, want)
+	}
+}
+
+func TestOutOfRangeLevel(t *testing.T) {
+	rng := xrand.New(11)
+	l := New(rng, 50, 1, 1, nil)
+	if l.Level(-1) != nil || l.Level(l.MaxK+1) != nil {
+		t.Fatal("out-of-range levels should be nil")
+	}
+}

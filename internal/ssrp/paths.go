@@ -1,0 +1,115 @@
+package ssrp
+
+import (
+	"fmt"
+
+	"msrp/internal/classic"
+)
+
+// Path reconstruction: when Params.TrackPaths is set, the single-source
+// solver records, for every (target, path-edge) answer, *which*
+// candidate won — enough to expand the actual replacement path on
+// demand. The paper computes lengths only; reconstruction is this
+// implementation's extension, and it powers the fault-tolerant
+// preserver (internal/preserver) and a second layer of validation
+// (an expanded path whose length matches the reported length *is* a
+// certificate of soundness).
+//
+// Provenance kinds mirror the candidate sources in Combine:
+//
+//	provSmall  — the §7.1 auxiliary-graph value; the Dijkstra
+//	             predecessor chain expands it.
+//	provVia    — d(s,r,e) + d(r,t) through landmark r (Algorithm 3 or
+//	             4); expands to the (s,r,e) replacement path (a classic
+//	             crossing-edge witness, or the canonical s→r path when
+//	             e is off it) followed by the canonical r→t path.
+//	provDirect — a landmark target served by its own classic row.
+const (
+	provNone int8 = iota
+	provSmall
+	provVia
+	provDirect
+)
+
+type provEntry struct {
+	kind int8
+	r    int32 // the landmark for provVia
+}
+
+// ReconstructPath expands the replacement path for target t avoiding
+// the i-th edge of its canonical path. It returns nil when no
+// replacement path exists, and an error when path tracking was not
+// enabled or no provenance was recorded (which would be a bug).
+func (ps *PerSource) ReconstructPath(t int32, i int) ([]int32, error) {
+	if !ps.TrackPaths {
+		return nil, fmt.Errorf("ssrp: Params.TrackPaths was not enabled")
+	}
+	if ps.prov == nil || int(t) >= len(ps.prov) || i >= len(ps.prov[t]) {
+		return nil, fmt.Errorf("ssrp: no provenance for t=%d i=%d", t, i)
+	}
+	entry := ps.prov[t][i]
+	switch entry.kind {
+	case provNone:
+		return nil, nil // Inf: no replacement path
+	case provSmall:
+		return ps.Small.PathVertices(t, i), nil
+	case provDirect:
+		w := ps.witness[t][i]
+		return w.BuildPath(ps.Ts, ps.Sh.Tree[t]), nil
+	case provVia:
+		return ps.reconstructVia(entry.r, t, i)
+	}
+	return nil, fmt.Errorf("ssrp: unknown provenance kind %d", entry.kind)
+}
+
+// reconstructVia expands d(s,r,e) + canonical(r→t).
+func (ps *PerSource) reconstructVia(r, t int32, i int) ([]int32, error) {
+	e := ps.edgeAtIndex(t, i)
+	var prefix []int32
+	switch {
+	case r == ps.S:
+		prefix = []int32{ps.S}
+	case !ps.AncS.EdgeOnRootPath(ps.Sh.G, e, r):
+		prefix = ps.Ts.PathTo(r) // canonical s→r avoids e outright
+	default:
+		ws := ps.witness[r]
+		if ws == nil || i >= len(ws) {
+			return nil, fmt.Errorf("ssrp: missing witness for landmark %d edge %d", r, i)
+		}
+		prefix = ws[i].BuildPath(ps.Ts, ps.Sh.Tree[r])
+		if prefix == nil {
+			return nil, fmt.Errorf("ssrp: provenance via landmark %d but witness is no-path", r)
+		}
+	}
+	suffix := ps.Sh.Tree[r].PathTo(t) // r … t
+	out := make([]int32, 0, len(prefix)+len(suffix)-1)
+	out = append(out, prefix...)
+	out = append(out, suffix[1:]...)
+	return out, nil
+}
+
+// edgeAtIndex returns the edge id at position i of the canonical path
+// to t (O(depth) walk; reconstruction is an on-demand operation).
+func (ps *PerSource) edgeAtIndex(t int32, i int) int32 {
+	x := t
+	for d := int(ps.Ts.Dist[t]) - 1; d > i; d-- {
+		x = ps.Ts.Parent[x]
+	}
+	return ps.Ts.ParentEdge[x]
+}
+
+// computeWitnesses fills the per-landmark classic witnesses (TrackPaths
+// mode of ComputeLenSRClassic).
+func (ps *PerSource) computeWitnesses() {
+	sh := ps.Sh
+	ps.LenSR = make(map[int32][]int32, len(sh.List))
+	ps.witness = make(map[int32][]classic.Witness, len(sh.List))
+	for _, r := range sh.List {
+		if r == ps.S || !ps.Ts.Reachable(r) {
+			continue
+		}
+		lens, wits := classic.PairWitness(sh.G, ps.Ts, sh.Tree[r], r)
+		ps.LenSR[r] = lens
+		ps.witness[r] = wits
+	}
+}

@@ -1,0 +1,110 @@
+package ssrp
+
+import (
+	"testing"
+
+	"msrp/internal/graph"
+	"msrp/internal/naive"
+	"msrp/internal/rp"
+	"msrp/internal/xrand"
+)
+
+// verifyReconstruction checks that every answer with a finite length
+// expands into a genuine replacement path: right endpoints, adjacent
+// steps, avoided edge absent, and length exactly equal to both the
+// reported and the true replacement length.
+func verifyReconstruction(t *testing.T, g *graph.Graph, s int32, p Params) {
+	t.Helper()
+	res, ps, _, err := SolvePaths(g, s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive.SSRP(g, s)
+	if d := rp.Diff(want, res); d != "" {
+		t.Fatalf("lengths wrong before reconstruction: %s", d)
+	}
+	checked := 0
+	for tt := int32(0); tt < int32(g.NumVertices()); tt++ {
+		edges := res.Tree.PathEdgesTo(tt)
+		for i := range res.Len[tt] {
+			path, err := ps.ReconstructPath(tt, i)
+			if err != nil {
+				t.Fatalf("t=%d i=%d: %v", tt, i, err)
+			}
+			if res.Len[tt][i] == rp.Inf {
+				if path != nil {
+					t.Fatalf("t=%d i=%d: path returned for Inf answer", tt, i)
+				}
+				continue
+			}
+			if path == nil {
+				t.Fatalf("t=%d i=%d: nil path for finite answer %d", tt, i, res.Len[tt][i])
+			}
+			if path[0] != s || path[len(path)-1] != tt {
+				t.Fatalf("t=%d i=%d: endpoints %d..%d", tt, i, path[0], path[len(path)-1])
+			}
+			if int32(len(path)-1) != res.Len[tt][i] {
+				t.Fatalf("t=%d i=%d: path length %d != reported %d",
+					tt, i, len(path)-1, res.Len[tt][i])
+			}
+			for j := 0; j+1 < len(path); j++ {
+				id, ok := g.EdgeID(int(path[j]), int(path[j+1]))
+				if !ok {
+					t.Fatalf("t=%d i=%d: non-adjacent step %d-%d", tt, i, path[j], path[j+1])
+				}
+				if id == edges[i] {
+					t.Fatalf("t=%d i=%d: path uses the avoided edge", tt, i)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing reconstructed")
+	}
+}
+
+func TestReconstructCycle(t *testing.T) {
+	verifyReconstruction(t, graph.Cycle(40), 0, testParams(1))
+}
+
+func TestReconstructGrid(t *testing.T) {
+	verifyReconstruction(t, graph.Grid(5, 8), 0, testParams(2))
+	verifyReconstruction(t, graph.Grid(2, 25), 10, testParams(3))
+}
+
+func TestReconstructRandom(t *testing.T) {
+	rng := xrand.New(4)
+	for trial := 0; trial < 8; trial++ {
+		n := 25 + rng.Intn(40)
+		g := graph.RandomConnected(rng, n, n+rng.Intn(2*n))
+		verifyReconstruction(t, g, int32(rng.Intn(n)), testParams(uint64(trial)+10))
+	}
+}
+
+func TestReconstructCycleChords(t *testing.T) {
+	rng := xrand.New(5)
+	g := graph.CycleWithChords(rng, 60, 5)
+	verifyReconstruction(t, g, 0, testParams(6))
+}
+
+func TestReconstructBarbell(t *testing.T) {
+	// Mixes Inf (bridges) and finite answers.
+	verifyReconstruction(t, graph.Barbell(5, 4), 0, testParams(7))
+}
+
+func TestReconstructWithoutTrackingFails(t *testing.T) {
+	g := graph.Cycle(10)
+	_, _, err := Solve(g, 0, testParams(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShared(g, []int32{0}, testParams(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := sh.NewPerSource(0)
+	if _, err := ps.ReconstructPath(3, 0); err == nil {
+		t.Fatal("expected error without TrackPaths")
+	}
+}

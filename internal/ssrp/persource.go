@@ -1,0 +1,244 @@
+package ssrp
+
+import (
+	"msrp/internal/classic"
+	"msrp/internal/lca"
+	"msrp/internal/rp"
+
+	"msrp/internal/bfs"
+)
+
+// PerSource carries the per-source state of the solver: the canonical
+// tree T_s, the §7.1 small-near solution, and the replacement-path
+// lengths from s to every landmark (filled by the classical algorithm
+// in the single-source case, or by the §8 machinery in the multi-source
+// case).
+type PerSource struct {
+	Sh   *Shared
+	S    int32
+	Ts   *bfs.Tree
+	AncS *lca.Ancestry
+
+	// Small answers the §7.1 queries; built by BuildSmallNear.
+	Small *SmallNear
+
+	// LenSR[r][i] = d(s, r, e_i) for the i-th edge of the canonical s→r
+	// path. nil rows mean r is unreachable from s (or r == s).
+	LenSR map[int32][]int32
+
+	// TrackPaths enables provenance recording so ReconstructPath can
+	// expand answers into concrete paths (single-source mode only).
+	TrackPaths bool
+	witness    map[int32][]classic.Witness
+	prov       [][]provEntry
+}
+
+// NewPerSource prepares per-source state. The source must be one of the
+// sources given to NewShared (sources are forced landmarks, so their
+// trees and ancestries are already built).
+func (sh *Shared) NewPerSource(s int32) *PerSource {
+	ts := sh.Tree[s]
+	if ts == nil {
+		panic("ssrp: source was not preprocessed; pass it to NewShared")
+	}
+	return &PerSource{
+		Sh:   sh,
+		S:    s,
+		Ts:   ts,
+		AncS: sh.Anc[s],
+	}
+}
+
+// BuildSmallNear constructs and solves the §7.1 auxiliary graph.
+func (ps *PerSource) BuildSmallNear() {
+	ps.Small = buildSmallNear(ps)
+}
+
+// ComputeLenSRClassic fills LenSR by running the classical single-pair
+// replacement path algorithm from s to every landmark — the paper's
+// single-source strategy (§3): Õ(m+n) per landmark, Õ(m√n) total.
+// With TrackPaths set it also stores the crossing-edge witnesses.
+func (ps *PerSource) ComputeLenSRClassic() {
+	if ps.TrackPaths {
+		ps.computeWitnesses()
+		return
+	}
+	sh := ps.Sh
+	ps.LenSR = make(map[int32][]int32, len(sh.List))
+	for _, r := range sh.List {
+		if r == ps.S || !ps.Ts.Reachable(r) {
+			continue
+		}
+		ps.LenSR[r] = classic.Pair(sh.G, ps.Ts, sh.Tree[r], r)
+	}
+}
+
+// SetLenSR installs externally computed landmark replacement lengths
+// (the MSRP §8 pipeline). Rows follow the same convention as
+// ComputeLenSRClassic.
+func (ps *PerSource) SetLenSR(lenSR map[int32][]int32) {
+	ps.LenSR = lenSR
+}
+
+// dSR returns d(s, r, e) where e is the path edge with index i on any
+// canonical path through it. Three cases:
+//   - r == s: the empty path avoids everything — 0.
+//   - e not on the canonical s→r path: the canonical path itself avoids
+//     e — |sr|.
+//   - otherwise the precomputed replacement length (index identity: e's
+//     index on the s→r path is also i).
+func (ps *PerSource) dSR(r int32, i int, e int32) int32 {
+	if r == ps.S {
+		return 0
+	}
+	if !ps.Ts.Reachable(r) {
+		return inf
+	}
+	if !ps.AncS.EdgeOnRootPath(ps.Sh.G, e, r) {
+		return ps.Ts.Dist[r]
+	}
+	row := ps.LenSR[r]
+	if row == nil || i >= len(row) {
+		return inf
+	}
+	return row[i]
+}
+
+// Combine runs the per-target assembly (§6 far edges via Algorithm 3,
+// §7.2 near-large via Algorithm 4, §7.1 small-near lookups, plus the
+// free direct fill for landmark targets) and returns the full result.
+func (ps *PerSource) Combine(stats *Stats) *rp.Result {
+	sh := ps.Sh
+	g := sh.G
+	res := rp.NewResult(ps.Ts)
+	if ps.TrackPaths {
+		ps.prov = make([][]provEntry, g.NumVertices())
+	}
+
+	for t := int32(0); t < int32(g.NumVertices()); t++ {
+		l := ps.Ts.Dist[t]
+		if t == ps.S || l <= 0 {
+			continue
+		}
+		row := res.Len[t]
+		if stats != nil {
+			stats.Queries += int64(l)
+		}
+		var provRow []provEntry
+		if ps.TrackPaths {
+			provRow = make([]provEntry, l)
+			ps.prov[t] = provRow
+		}
+
+		// Landmark targets come for free: LenSR already holds every
+		// edge of their canonical path (exactly, in the σ=1 case).
+		if direct := ps.LenSR[t]; direct != nil {
+			for i := range row {
+				if direct[i] < row[i] {
+					row[i] = direct[i]
+					if provRow != nil {
+						provRow[i] = provEntry{kind: provDirect, r: t}
+					}
+				}
+			}
+		}
+		ps.combineTarget(t, row, provRow, stats)
+	}
+	return res
+}
+
+// CombineTarget lowers row[i] (the current bound on d(s,t,e_i)) using
+// the per-edge candidate machinery: §7.1 small values and Algorithm 4
+// for near edges, Algorithm 3 for far edges. The row must have
+// Ts.Dist[t] entries. Exposed separately because the MSRP pipeline
+// applies it to landmark targets as a fixpoint sweep over LenSR.
+func (ps *PerSource) CombineTarget(t int32, row []int32, stats *Stats) {
+	ps.combineTarget(t, row, nil, stats)
+}
+
+func (ps *PerSource) combineTarget(t int32, row []int32, provRow []provEntry, stats *Stats) {
+	sh := ps.Sh
+	level0 := sh.Landmarks.Level(0)
+	l := ps.Ts.Dist[t]
+	x := t // x = x_{i+1}: child endpoint of e_i during the walk
+	for i := l - 1; i >= 0; i-- {
+		e := ps.Ts.ParentEdge[x]
+		distFromT := l - i
+		if k := sh.farBand(distFromT); k < 0 {
+			ps.combineNear(t, int(i), e, row, provRow, level0, stats)
+		} else {
+			ps.combineFar(t, int(i), e, k, row, provRow, stats)
+		}
+		x = ps.Ts.Parent[x]
+	}
+}
+
+// combineNear handles a near edge: the §7.1 small value plus
+// Algorithm 4's scan of L_0 for large replacement paths.
+func (ps *PerSource) combineNear(t int32, i int, e int32, row []int32, provRow []provEntry, level0 []int32, stats *Stats) {
+	if v := ps.Small.Value(t, i); v < row[i] {
+		row[i] = v
+		if provRow != nil {
+			provRow[i] = provEntry{kind: provSmall}
+		}
+	}
+	sh := ps.Sh
+	for _, r := range level0 {
+		if stats != nil {
+			stats.NearLargeScans++
+		}
+		tr := sh.Tree[r]
+		dt := tr.Dist[t]
+		if dt < 0 {
+			continue
+		}
+		// Lemma 13 guarantees a useful r has e off its canonical path;
+		// checking it also keeps the candidate sound unconditionally.
+		if sh.Anc[r].EdgeOnRootPath(sh.G, e, t) {
+			continue
+		}
+		d := ps.dSR(r, i, e)
+		if d >= inf {
+			continue
+		}
+		if cand := d + dt; cand < row[i] {
+			row[i] = cand
+			if provRow != nil {
+				provRow[i] = provEntry{kind: provVia, r: r}
+			}
+		}
+	}
+}
+
+// combineFar handles a k-far edge via Algorithm 3: scan L_k for
+// landmarks within the band's distance threshold of t.
+func (ps *PerSource) combineFar(t int32, i int, e int32, k int, row []int32, provRow []provEntry, stats *Stats) {
+	sh := ps.Sh
+	thr := sh.farThreshold(k)
+	for _, r := range sh.landmarksForBand(k) {
+		if stats != nil {
+			stats.FarScans++
+		}
+		tr := sh.Tree[r]
+		dt := tr.Dist[t]
+		if dt < 0 || float64(dt) > thr {
+			continue
+		}
+		// The distance argument (d(e,t) ≥ 2·thr) already implies no
+		// shortest r→t path uses e; the explicit check makes soundness
+		// independent of the floating-point band arithmetic.
+		if sh.Anc[r].EdgeOnRootPath(sh.G, e, t) {
+			continue
+		}
+		d := ps.dSR(r, i, e)
+		if d >= inf {
+			continue
+		}
+		if cand := d + dt; cand < row[i] {
+			row[i] = cand
+			if provRow != nil {
+				provRow[i] = provEntry{kind: provVia, r: r}
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package ssrp
+
+import (
+	"fmt"
+
+	"msrp/internal/bfs"
+	"msrp/internal/graph"
+	"msrp/internal/lca"
+	"msrp/internal/rp"
+	"msrp/internal/sample"
+	"msrp/internal/xrand"
+)
+
+// Shared holds the preprocessing common to every source: the landmark
+// family, one BFS tree and ancestry index per landmark, and the derived
+// distance thresholds. It corresponds to the paper's §5 preliminaries.
+type Shared struct {
+	G       *graph.Graph
+	Sources []int32
+	Params  Params
+
+	// X is the suffix unit √(n/σ)·log n (scaled); NearLimit = 2X.
+	X         float64
+	NearLimit float64
+	// nearEdgeCap is the number of path positions with distance-from-
+	// target strictly below NearLimit (i.e. max near edges per target).
+	nearEdgeCap int
+
+	// Landmarks is the leveled family L_0 … L_K; List its sorted union.
+	Landmarks *sample.Levels
+	List      []int32
+
+	// Tree and Anc index landmark BFS trees/ancestries by vertex id.
+	Tree map[int32]*bfs.Tree
+	Anc  map[int32]*lca.Ancestry
+
+	rng *xrand.RNG
+}
+
+// NewShared runs the source-independent preprocessing for a σ-source
+// instance: samples the landmark family with the paper's probabilities
+// and builds a BFS tree plus ancestry index for every landmark.
+// Cost: Õ(m√(nσ)).
+func NewShared(g *graph.Graph, sources []int32, p Params) (*Shared, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty graph", ErrBadParams)
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("%w: no sources", ErrBadParams)
+	}
+	seen := make(map[int32]struct{}, len(sources))
+	for _, s := range sources {
+		if s < 0 || int(s) >= n {
+			return nil, fmt.Errorf("%w: source %d out of range [0,%d)", ErrBadParams, s, n)
+		}
+		if _, dup := seen[s]; dup {
+			return nil, fmt.Errorf("%w: duplicate source %d", ErrBadParams, s)
+		}
+		seen[s] = struct{}{}
+	}
+	sigma := len(sources)
+
+	sh := &Shared{
+		G:       g,
+		Sources: append([]int32(nil), sources...),
+		Params:  p,
+		rng:     xrand.New(p.Seed),
+	}
+	sh.X = p.suffixUnit(n, sigma)
+	sh.NearLimit = 2 * sh.X
+	if p.ExhaustiveNear {
+		// Every edge near, every replacement path "small".
+		sh.NearLimit = float64(n + 1)
+		sh.X = sh.NearLimit / 2
+	}
+	sh.nearEdgeCap = intCeil(sh.NearLimit) - 1
+	if sh.nearEdgeCap < 1 {
+		sh.nearEdgeCap = 1
+	}
+
+	sh.Landmarks = sample.New(sh.rng.Split(), n, sigma, p.SampleBoost, sh.Sources)
+	sh.List = sh.Landmarks.Union()
+
+	forest := bfs.NewForest(g, sh.List, p.Parallelism)
+	sh.Tree = forest.Trees
+	sh.Anc = make(map[int32]*lca.Ancestry, len(sh.List))
+	for _, r := range sh.List {
+		sh.Anc[r] = lca.NewAncestry(g, sh.Tree[r])
+	}
+	return sh, nil
+}
+
+// Sigma returns the number of sources σ.
+func (sh *Shared) Sigma() int { return len(sh.Sources) }
+
+// DeriveRNG returns a fresh deterministic generator derived from the
+// instance seed; the MSRP layer uses it to sample its center family
+// independently of the landmark draws.
+func (sh *Shared) DeriveRNG() *xrand.RNG { return sh.rng.Split() }
+
+// NewStats exposes the landmark-size snapshot for callers outside the
+// package (the MSRP solver shares the Stats shape).
+func (sh *Shared) NewStats() *Stats { return sh.newStats() }
+
+// FarBand exposes the near/far classification: the band k for a path
+// edge at the given distance from the target, or -1 when near.
+func (sh *Shared) FarBand(distFromT int32) int { return sh.farBand(distFromT) }
+
+// farBand classifies a path edge at the given distance-from-target into
+// a far band k (distance ∈ [2^{k+1}X, 2^{k+2}X)), or returns -1 when
+// the edge is near (distance < 2X). Bands are clamped to the sampled
+// level range.
+func (sh *Shared) farBand(distFromT int32) int {
+	d := float64(distFromT)
+	if d < sh.NearLimit {
+		return -1
+	}
+	k := 0
+	threshold := sh.NearLimit * 2 // upper edge of band 0
+	for d >= threshold && k < sh.Landmarks.MaxK {
+		k++
+		threshold *= 2
+	}
+	return k
+}
+
+// farThreshold returns the Algorithm 3 landmark-distance cutoff
+// 2^k · X for band k.
+func (sh *Shared) farThreshold(k int) float64 {
+	return sh.X * float64(int64(1)<<uint(k))
+}
+
+// landmarksForBand returns the landmark set scanned for far band k:
+// L_k normally, the dense L_0 under the FlatLandmarks ablation.
+func (sh *Shared) landmarksForBand(k int) []int32 {
+	if sh.Params.FlatLandmarks {
+		return sh.Landmarks.Level(0)
+	}
+	return sh.Landmarks.Level(k)
+}
+
+func intCeil(x float64) int {
+	i := int(x)
+	if float64(i) < x {
+		i++
+	}
+	return i
+}
+
+// Stats aggregates observability counters for the experiment harness
+// (E3 landmark sizes, E9 auxiliary graph sizes).
+type Stats struct {
+	// Landmark family.
+	LevelSizes []int
+	UnionSize  int
+
+	// §7.1 auxiliary graph (per source, summed over sources).
+	AuxNodes int64
+	AuxArcs  int64
+
+	// Combine-stage work counters (candidate scans).
+	FarScans       int64
+	NearLargeScans int64
+
+	// Output volume.
+	Queries int64
+}
+
+// newStats snapshots the landmark sizes.
+func (sh *Shared) newStats() *Stats {
+	st := &Stats{UnionSize: len(sh.List)}
+	for k := 0; k <= sh.Landmarks.MaxK; k++ {
+		st.LevelSizes = append(st.LevelSizes, sh.Landmarks.Size(k))
+	}
+	return st
+}
+
+// inf is a local alias to keep expressions short.
+const inf = rp.Inf

@@ -1,0 +1,315 @@
+package ssrp
+
+import (
+	"errors"
+	"testing"
+
+	"msrp/internal/graph"
+	"msrp/internal/naive"
+	"msrp/internal/rp"
+	"msrp/internal/xrand"
+)
+
+// testParams returns parameters with boosted sampling so the w.h.p.
+// lemmas hold essentially surely at test sizes. SuffixScale is shrunk
+// so small graphs still exercise the far-edge and near-large machinery
+// instead of degenerating into the all-near regime (Boost·Scale = 3,
+// comfortably above the ≥1 the analysis needs).
+func testParams(seed uint64) Params {
+	p := DefaultParams()
+	p.Seed = seed
+	p.SampleBoost = 12
+	p.SuffixScale = 0.25
+	return p
+}
+
+func requireExact(t *testing.T, g *graph.Graph, s int32, p Params) {
+	t.Helper()
+	got, _, err := Solve(g, s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive.SSRP(g, s)
+	if d := rp.Diff(want, got); d != "" {
+		t.Fatalf("s=%d: %s", s, d)
+	}
+}
+
+func TestCycleAllSources(t *testing.T) {
+	// Cycles are the high-diameter extreme: every band of the far-edge
+	// machinery activates.
+	g := graph.Cycle(60)
+	for s := int32(0); s < 60; s += 7 {
+		requireExact(t, g, s, testParams(uint64(s)+1))
+	}
+}
+
+func TestPathGraphAllBridges(t *testing.T) {
+	g := graph.Path(40)
+	got, _, err := Solve(g, 0, testParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := int32(1); tt < 40; tt++ {
+		for i, v := range got.Len[tt] {
+			if v != rp.Inf {
+				t.Fatalf("t=%d i=%d: got %d, want Inf (all path edges are bridges)", tt, i, v)
+			}
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := graph.Grid(6, 7)
+	requireExact(t, g, 0, testParams(2))
+	requireExact(t, g, 41, testParams(3))
+	requireExact(t, g, 17, testParams(4))
+}
+
+func TestLongGrid(t *testing.T) {
+	// 2×40 grid: diameter 40, long paths, every replacement detour is
+	// forced through the second row.
+	g := graph.Grid(2, 40)
+	requireExact(t, g, 0, testParams(5))
+	requireExact(t, g, 39, testParams(6))
+}
+
+func TestRandomConnectedSweep(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 10; trial++ {
+		n := 30 + rng.Intn(50)
+		m := n + rng.Intn(3*n)
+		g := graph.RandomConnected(rng, n, m)
+		s := int32(rng.Intn(n))
+		requireExact(t, g, s, testParams(uint64(trial)+10))
+	}
+}
+
+func TestCycleWithChords(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 6; trial++ {
+		g := graph.CycleWithChords(rng, 50+rng.Intn(40), 3+rng.Intn(6))
+		s := int32(rng.Intn(g.NumVertices()))
+		requireExact(t, g, s, testParams(uint64(trial)+20))
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := graph.Barbell(5, 4)
+	requireExact(t, g, 0, testParams(8))
+	requireExact(t, g, int32(g.NumVertices()-1), testParams(9))
+}
+
+func TestCaterpillarTree(t *testing.T) {
+	// A tree: every answer is Inf.
+	g := graph.Caterpillar(8, 3)
+	got, _, err := Solve(g, 0, testParams(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range got.Len {
+		for i, v := range got.Len[tt] {
+			if v != rp.Inf {
+				t.Fatalf("tree should have no replacement paths; t=%d i=%d = %d", tt, i, v)
+			}
+		}
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	g := graph.Complete(12)
+	requireExact(t, g, 3, testParams(11))
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {5, 6}, {6, 7}, {7, 5}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+	got, _, err := Solve(g, 0, testParams(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive.SSRP(g, 0)
+	if d := rp.Diff(want, got); d != "" {
+		t.Fatal(d)
+	}
+	// Rows for the other component must be empty.
+	for _, tt := range []int32{5, 6, 7, 4, 8, 9} {
+		if len(got.Len[tt]) != 0 {
+			t.Fatalf("unreachable target %d has %d entries", tt, len(got.Len[tt]))
+		}
+	}
+}
+
+func TestExhaustiveNearModeIsExactWithoutBoost(t *testing.T) {
+	// ExhaustiveNear needs no sampling lemma: paper-default constants,
+	// arbitrary seed, still exact.
+	rng := xrand.New(31)
+	p := DefaultParams()
+	p.ExhaustiveNear = true
+	for trial := 0; trial < 6; trial++ {
+		n := 25 + rng.Intn(40)
+		g := graph.RandomConnected(rng, n, n+rng.Intn(2*n))
+		s := int32(rng.Intn(n))
+		requireExact(t, g, s, p)
+	}
+	requireExact(t, graph.Cycle(45), 3, p)
+	requireExact(t, graph.Grid(5, 9), 0, p)
+}
+
+func TestFlatLandmarkAblationStaysExact(t *testing.T) {
+	p := testParams(13)
+	p.FlatLandmarks = true
+	requireExact(t, graph.Cycle(70), 0, p)
+	rng := xrand.New(14)
+	g := graph.CycleWithChords(rng, 60, 4)
+	requireExact(t, g, 10, p)
+}
+
+func TestSoundnessAtPaperConstants(t *testing.T) {
+	// With Boost = 1 on tiny graphs the sampling lemmas give no usable
+	// guarantee, but soundness must hold regardless: every reported
+	// length is >= the true replacement length, and never finite when
+	// the truth is Inf.
+	rng := xrand.New(15)
+	for trial := 0; trial < 8; trial++ {
+		n := 20 + rng.Intn(40)
+		g := graph.RandomConnected(rng, n, n+rng.Intn(2*n))
+		s := int32(rng.Intn(n))
+		p := DefaultParams()
+		p.Seed = uint64(trial) + 1
+		got, _, err := Solve(g, s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naive.SSRP(g, s)
+		for tt := range got.Len {
+			for i := range got.Len[tt] {
+				gv, wv := got.Len[tt][i], want.Len[tt][i]
+				if gv < wv {
+					t.Fatalf("UNSOUND: trial %d s=%d t=%d i=%d: got %d < true %d",
+						trial, s, tt, i, gv, wv)
+				}
+				if wv == rp.Inf && gv != rp.Inf {
+					t.Fatalf("trial %d: finite answer %d where truth is Inf", trial, gv)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	g := graph.Cycle(80)
+	_, stats, err := Solve(g, 0, testParams(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.UnionSize == 0 || len(stats.LevelSizes) == 0 {
+		t.Fatal("landmark stats empty")
+	}
+	if stats.AuxNodes == 0 || stats.AuxArcs == 0 {
+		t.Fatal("aux graph stats empty")
+	}
+	if stats.Queries == 0 {
+		t.Fatal("no queries counted")
+	}
+	if stats.FarScans == 0 {
+		t.Fatal("cycle with shrunk SuffixScale must produce far edges")
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	g := graph.Cycle(5)
+	if _, _, err := Solve(g, -1, DefaultParams()); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, _, err := Solve(g, 5, DefaultParams()); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	bad := DefaultParams()
+	bad.SampleBoost = 0
+	if _, _, err := Solve(g, 0, bad); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("bad params error = %v", err)
+	}
+	empty := graph.NewBuilder(0).MustBuild()
+	if _, _, err := Solve(empty, 0, DefaultParams()); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	g := graph.CycleWithChords(xrand.New(44), 60, 5)
+	p := testParams(17)
+	a, _, err := Solve(g, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Solve(g, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rp.Diff(a, b); d != "" {
+		t.Fatalf("same seed, different answers: %s", d)
+	}
+}
+
+func TestSmallNearPathExpansion(t *testing.T) {
+	// The expanded §7.1 paths must be real walks: consecutive vertices
+	// adjacent, starting at s, ending at t, avoiding e, with length
+	// matching the reported value.
+	rng := xrand.New(18)
+	g := graph.RandomConnected(rng, 40, 100)
+	sh, err := NewShared(g, []int32{0}, testParams(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := sh.NewPerSource(0)
+	ps.BuildSmallNear()
+	checked := 0
+	for tt := int32(1); tt < 40; tt++ {
+		l := ps.Ts.Dist[tt]
+		edges := ps.Ts.PathEdgesTo(tt)
+		for i := 0; i < int(l); i++ {
+			val := ps.Small.Value(tt, i)
+			if val >= rp.Inf {
+				continue
+			}
+			path := ps.Small.PathVertices(tt, i)
+			if path == nil {
+				t.Fatalf("finite value %d with nil path (t=%d i=%d)", val, tt, i)
+			}
+			if path[0] != 0 || path[len(path)-1] != tt {
+				t.Fatalf("path endpoints %d..%d, want 0..%d", path[0], path[len(path)-1], tt)
+			}
+			if int32(len(path)-1) != val {
+				t.Fatalf("path length %d != value %d", len(path)-1, val)
+			}
+			e := edges[i]
+			eu, ev := g.EdgeEndpoints(int(e))
+			for j := 0; j+1 < len(path); j++ {
+				id, ok := g.EdgeID(int(path[j]), int(path[j+1]))
+				if !ok {
+					t.Fatalf("non-adjacent consecutive vertices %d,%d", path[j], path[j+1])
+				}
+				if id == e {
+					t.Fatalf("path for (t=%d,i=%d) uses avoided edge {%d,%d}", tt, i, eu, ev)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no paths checked")
+	}
+}
+
+func TestHighSigmaScaleStress(t *testing.T) {
+	// Larger single-source instance, still exhaustively verified.
+	rng := xrand.New(20)
+	g := graph.RandomConnected(rng, 150, 400)
+	requireExact(t, g, 75, testParams(21))
+}

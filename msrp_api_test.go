@@ -1,0 +1,208 @@
+package msrp
+
+import (
+	"testing"
+)
+
+func testOptions(seed uint64) Options {
+	o := DefaultOptions()
+	o.Seed = seed
+	o.SampleBoost = 12
+	o.SuffixScale = 0.25
+	return o
+}
+
+func TestQuickstartCycle(t *testing.T) {
+	b := NewGraphBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SingleSource(g, 0, testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical 0→2 path is 0-1-2; avoiding either edge forces the
+	// 3-edge detour 0-4-3-2.
+	lens := res.Lengths(2)
+	if len(lens) != 2 || lens[0] != 3 || lens[1] != 3 {
+		t.Fatalf("Lengths(2) = %v, want [3 3]", lens)
+	}
+	if res.Dist(2) != 2 || res.Source() != 0 {
+		t.Fatal("basic accessors wrong")
+	}
+}
+
+func TestAvoidEdgeQueries(t *testing.T) {
+	g := GenerateCycle(8)
+	res, err := SingleSource(g, 0, testOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := res.PathTo(3)
+	if len(path) != 4 {
+		t.Fatalf("path = %v", path)
+	}
+	for i := 0; i+1 < len(path); i++ {
+		got, err := res.AvoidEdge(3, int(path[i]), int(path[i+1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 5 { // the other way around C8
+			t.Fatalf("AvoidEdge = %d, want 5", got)
+		}
+	}
+	// Edge not on the path.
+	if _, err := res.AvoidEdge(3, 5, 6); err == nil {
+		t.Fatal("off-path edge accepted")
+	}
+	// Non-existent edge.
+	if _, err := res.AvoidEdge(3, 0, 4); err == nil {
+		t.Fatal("missing edge accepted")
+	}
+}
+
+func TestMultiSourceAndOracle(t *testing.T) {
+	g := GenerateRandomConnected(7, 40, 90)
+	sources := []int{0, 10, 20}
+	oracle, err := NewOracle(g, sources, testOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sources {
+		res := oracle.Result(s)
+		if res == nil || res.Source() != s {
+			t.Fatalf("missing result for source %d", s)
+		}
+		// Spot-check oracle answers against the Result API.
+		path := res.PathTo(35)
+		for i := 0; i+1 < len(path); i++ {
+			fromRes := res.Lengths(35)[i]
+			fromOracle, err := oracle.Query(s, 35, int(path[i]), int(path[i+1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fromRes != fromOracle {
+				t.Fatalf("oracle disagrees with result: %d vs %d", fromOracle, fromRes)
+			}
+		}
+	}
+	if _, err := oracle.Query(5, 0, 0, 1); err == nil {
+		t.Fatal("non-source query accepted")
+	}
+}
+
+func TestNoPathSentinel(t *testing.T) {
+	g := GeneratePath(5)
+	res, err := SingleSource(g, 0, testOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Lengths(4) {
+		if v != NoPath {
+			t.Fatalf("path graph must report NoPath, got %d", v)
+		}
+	}
+}
+
+func TestNilAndInvalidInputs(t *testing.T) {
+	if _, err := SingleSource(nil, 0, DefaultOptions()); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := MultiSource(nil, []int{0}, DefaultOptions()); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g := GenerateCycle(5)
+	if _, err := SingleSource(g, 99, DefaultOptions()); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	bad := DefaultOptions()
+	bad.SampleBoost = -1
+	if _, err := SingleSource(g, 0, bad); err == nil {
+		t.Fatal("bad options accepted")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if g := GenerateGrid(3, 4); g.NumVertices() != 12 || g.NumEdges() != 17 {
+		t.Fatal("grid wrong")
+	}
+	if g := GenerateCycleWithChords(1, 20, 5); g.NumEdges() != 25 {
+		t.Fatal("chords wrong")
+	}
+	if g := GeneratePreferentialAttachment(1, 50, 2); !g.Internal().IsConnected() {
+		t.Fatal("PA graph disconnected")
+	}
+	g := GenerateRandomConnected(9, 30, 60)
+	if g.NumVertices() != 30 || g.NumEdges() != 60 {
+		t.Fatal("random connected wrong")
+	}
+	u, v := g.EdgeEndpoints(0)
+	if !g.HasEdge(u, v) {
+		t.Fatal("edge endpoints inconsistent")
+	}
+}
+
+func TestExhaustiveNearMode(t *testing.T) {
+	g := GenerateRandomConnected(11, 35, 70)
+	det := DefaultOptions()
+	det.ExhaustiveNear = true
+	a, err := SingleSource(g, 0, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bst, err := SingleSource(g, 0, testOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < 35; tt++ {
+		la, lb := a.Lengths(tt), bst.Lengths(tt)
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("deterministic and boosted modes disagree at t=%d i=%d: %d vs %d",
+					tt, i, la[i], lb[i])
+			}
+		}
+	}
+}
+
+func TestTrackPathsPublicAPI(t *testing.T) {
+	g := GenerateCycleWithChords(3, 40, 4)
+	opts := testOptions(20)
+	opts.TrackPaths = true
+	res, err := SingleSource(g, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 1; tt < g.NumVertices(); tt++ {
+		lens := res.Lengths(tt)
+		for i, l := range lens {
+			path, err := res.ReplacementPath(tt, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l == NoPath {
+				if path != nil {
+					t.Fatalf("path for NoPath answer t=%d i=%d", tt, i)
+				}
+				continue
+			}
+			if int32(len(path)-1) != l {
+				t.Fatalf("t=%d i=%d: path length %d, reported %d", tt, i, len(path)-1, l)
+			}
+		}
+	}
+	// Without TrackPaths, ReplacementPath must refuse.
+	plain, err := SingleSource(g, 0, testOptions(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.ReplacementPath(1, 0); err == nil {
+		t.Fatal("expected error without TrackPaths")
+	}
+}
