@@ -40,6 +40,7 @@ func run() error {
 		seed    = flag.Uint64("seed", 1, "rng seed")
 		boost   = flag.Float64("boost", 4, "sampling boost (1 = paper constants)")
 		exact   = flag.Bool("exact", false, "deterministic exhaustive-near mode")
+		par     = flag.Int("parallelism", 0, "engine workers (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	)
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func run() error {
 	p.Seed = *seed
 	p.SampleBoost = *boost
 	p.ExhaustiveNear = *exact
+	p.Parallelism = *par
 
 	results, _, err := msrpcore.Solve(g, srcs, p)
 	if err != nil {

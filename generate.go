@@ -34,6 +34,13 @@ func GenerateCycleWithChords(seed uint64, n, chords int) *Graph {
 	return &Graph{g: graph.CycleWithChords(xrand.New(seed), n, chords)}
 }
 
+// GeneratePathWithChords returns the n-path plus `chords` uniformly
+// random chords — bridge edges at the ends exercise the NoPath cases
+// while the chords keep interior replacement paths interesting.
+func GeneratePathWithChords(seed uint64, n, chords int) *Graph {
+	return &Graph{g: graph.PathWithChords(xrand.New(seed), n, chords)}
+}
+
 // GeneratePreferentialAttachment returns a Barabási–Albert style graph
 // (heavy-tailed degrees), n vertices with k edges per arrival.
 func GeneratePreferentialAttachment(seed uint64, n, k int) *Graph {

@@ -1,0 +1,3 @@
+module msrp
+
+go 1.24

@@ -136,5 +136,6 @@ func All() []Experiment {
 		{"E9", "Auxiliary graph sizes", "§7.1/§8 graph size formulas", RunE9},
 		{"E10", "Assembly-mode ablation", "default sound assembly vs the paper's literal §8.3", RunE10},
 		{"E11", "Preserver sizes", "fault-tolerant BFS subgraph vs the Parter–Peleg n^1.5 bound", RunE11},
+		{"E12", "Engine parallel scaling", "σ-source solve and batched Oracle vs Parallelism (near-linear to GOMAXPROCS)", RunE12},
 	}
 }

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	api "msrp"
+
+	"msrp/internal/bfs"
+	"msrp/internal/graph"
+	"msrp/internal/msrp"
+	"msrp/internal/rp"
+	"msrp/internal/xrand"
+)
+
+// SigmaSourceInstance is the σ-source workload E12 (and the speedup
+// acceptance test) measures: a sparse connected random graph with σ
+// spread-out sources.
+type SigmaSourceInstance struct {
+	G       *graph.Graph
+	Sources []int32
+	N, M    int
+	Sigma   int
+}
+
+// NewSigmaSourceInstance builds the standard instance. The full-size
+// configuration (quick=false) is the "largest seed instance" of the
+// parallel-speedup acceptance criterion.
+func NewSigmaSourceInstance(quick bool) SigmaSourceInstance {
+	n, m, sigma := 1200, 4800, 8
+	if quick {
+		n, m, sigma = 240, 960, 4
+	}
+	g := graph.RandomConnected(xrand.New(12), n, m)
+	sources := make([]int32, sigma)
+	for i := range sources {
+		sources[i] = int32(i * (n / sigma))
+	}
+	return SigmaSourceInstance{G: g, Sources: sources, N: n, M: m, Sigma: sigma}
+}
+
+// Solve runs the MSRP pipeline on the instance at the given engine
+// parallelism, returning the results and wall-clock time.
+func (inst SigmaSourceInstance) Solve(parallelism int) ([]*rp.Result, time.Duration, error) {
+	p := mild(7, inst.N, inst.Sigma)
+	p.Parallelism = parallelism
+	var results []*rp.Result
+	var err error
+	d := timed(func() { results, _, err = msrp.Solve(inst.G, inst.Sources, p) })
+	return results, d, err
+}
+
+// RunE12 — engine parallel scaling. The σ-source MSRP solve at a sweep
+// of Parallelism values: time, speedup over the sequential run, and a
+// bit-identical check against the sequential output (the engine's
+// determinism contract). A second table measures the public Oracle's
+// batched serving throughput cold (lazy builds inside QueryBatch) and
+// warm (cache hits only).
+//
+// Wall-clock speedup obviously needs hardware: on a single-core host
+// every ratio sits near 1 and only the identity column is informative.
+// The acceptance threshold (≥ 2× at Parallelism=4) is asserted by
+// TestSigmaSourceSpeedup on hosts with ≥ 4 CPUs.
+func RunE12(w io.Writer, cfg Config) error {
+	inst := NewSigmaSourceInstance(cfg.Quick)
+	fmt.Fprintf(w, "  host: GOMAXPROCS=%d NumCPU=%d\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
+
+	t := NewTable("E12: engine parallel scaling (σ-source MSRP)",
+		"n", "m", "sigma", "parallelism", "time", "speedup", "identical")
+	var base []*rp.Result
+	var baseTime time.Duration
+	for _, par := range []int{1, 2, 4, 8} {
+		results, d, err := inst.Solve(par)
+		if err != nil {
+			return err
+		}
+		identical := true
+		if par == 1 {
+			base, baseTime = results, d
+		} else {
+			for i := range results {
+				if rp.Diff(base[i], results[i]) != "" {
+					identical = false
+				}
+			}
+		}
+		t.Row(inst.N, inst.M, inst.Sigma, par, d,
+			float64(baseTime)/float64(d), identical)
+	}
+	t.Print(w)
+
+	return runOracleServing(w, cfg)
+}
+
+// runOracleServing measures the batched Oracle: one cold QueryBatch
+// that materializes every source lazily, then the warm (cache-hit)
+// batch throughput.
+func runOracleServing(w io.Writer, cfg Config) error {
+	inst := NewSigmaSourceInstance(cfg.Quick)
+	queries := oracleQueries(inst)
+
+	t := NewTable("E12b: Oracle batched serving",
+		"sigma", "queries", "parallelism", "cold_batch", "warm_batch", "qps_warm")
+	for _, par := range []int{1, 0} { // sequential, then GOMAXPROCS
+		opts := api.DefaultOptions()
+		opts.Seed = 7
+		opts.SampleBoost = 4
+		opts.Parallelism = par
+		oracle, err := api.NewOracle(api.WrapGraph(inst.G), toInts(inst.Sources), opts)
+		if err != nil {
+			return err
+		}
+		var answers []api.Answer
+		cold := timed(func() { answers = oracle.QueryBatch(queries) })
+		for i, a := range answers {
+			if a.Err != nil {
+				return fmt.Errorf("query %d: %w", i, a.Err)
+			}
+		}
+		warm := timed(func() { answers = oracle.QueryBatch(queries) })
+		qps := float64(len(queries)) / warm.Seconds()
+		t.Row(inst.Sigma, len(queries), par, cold, warm, qps)
+	}
+	t.Print(w)
+	return nil
+}
+
+// oracleQueries enumerates queries over every path edge of a sampled
+// target slice per source — a deterministic serving workload.
+func oracleQueries(inst SigmaSourceInstance) []api.Query {
+	var queries []api.Query
+	for _, s := range inst.Sources {
+		tree := bfs.New(inst.G, int(s))
+		for t := 0; t < inst.N; t += 7 { // sample targets
+			path := tree.PathTo(int32(t))
+			for i := 0; i+1 < len(path); i++ {
+				queries = append(queries, api.Query{
+					Source: int(s), Target: t,
+					U: int(path[i]), V: int(path[i+1]),
+				})
+			}
+		}
+	}
+	return queries
+}
+
+func toInts(xs []int32) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}

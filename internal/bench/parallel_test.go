@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"msrp/internal/rp"
+)
+
+// TestSigmaSourceSpeedup asserts the acceptance criterion of the
+// sharded engine: ≥ 2× wall-clock speedup at Parallelism=4 over
+// Parallelism=1 on the largest seed σ-source instance. Wall-clock
+// speedup needs parallel hardware and an uninstrumented build, so the
+// assertion runs only on hosts with ≥ 4 CPUs and without -race (whose
+// serialization overhead makes timing ratios meaningless and flaky);
+// everywhere else the test still runs both configurations on the
+// quick instance and checks bit-identical output.
+func TestSigmaSourceSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size σ-source solves take seconds")
+	}
+	assertSpeedup := runtime.NumCPU() >= 4 && !raceEnabled
+	inst := NewSigmaSourceInstance(!assertSpeedup) // quick when identity-only
+	seqRes, seqTime, err := inst.Solve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, parTime, err := inst.Solve(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqRes {
+		if d := rp.Diff(seqRes[i], parRes[i]); d != "" {
+			t.Fatalf("parallel output differs from sequential for source %d: %s",
+				inst.Sources[i], d)
+		}
+	}
+	if !assertSpeedup {
+		t.Skipf("NumCPU=%d race=%v: skipping the wall-clock speedup assertion (needs >= 4 CPUs, no -race)",
+			runtime.NumCPU(), raceEnabled)
+	}
+	speedup := float64(seqTime) / float64(parTime)
+	t.Logf("n=%d m=%d σ=%d: sequential %v, parallel(4) %v, speedup %.2fx",
+		inst.N, inst.M, inst.Sigma, seqTime, parTime, speedup)
+	if speedup < 2 {
+		t.Fatalf("speedup %.2fx < 2x at Parallelism=4 (sequential %v, parallel %v)",
+			speedup, seqTime, parTime)
+	}
+}
+
+// BenchmarkSigmaSourceSolve benchmarks the σ-source pipeline across
+// Parallelism values on the quick instance (go test -bench
+// SigmaSource).
+func BenchmarkSigmaSourceSolve(b *testing.B) {
+	inst := NewSigmaSourceInstance(true)
+	for _, par := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "p1", 2: "p2", 4: "p4"}[par], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := inst.Solve(par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

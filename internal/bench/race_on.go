@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this
+// build. Wall-clock performance assertions are meaningless under its
+// serialization overhead, so the speedup test skips them.
+const raceEnabled = true

@@ -15,6 +15,7 @@ package bfs
 import (
 	"fmt"
 
+	"msrp/internal/engine"
 	"msrp/internal/graph"
 )
 
@@ -132,11 +133,11 @@ type Forest struct {
 	Trees map[int32]*Tree
 }
 
-// NewForest builds trees from every root, using up to parallelism
-// concurrent goroutines (values < 1 mean sequential). Duplicated roots
-// are built once. The result is deterministic regardless of parallelism
-// because each tree depends only on (g, root).
-func NewForest(g *graph.Graph, roots []int32, parallelism int) *Forest {
+// NewForest builds trees from every root, sharding the builds across
+// the given engine pool (nil means sequential). Duplicated roots are
+// built once. The result is deterministic regardless of the pool's
+// worker count because each tree depends only on (g, root).
+func NewForest(g *graph.Graph, roots []int32, pool *engine.Pool) *Forest {
 	uniq := make([]int32, 0, len(roots))
 	seen := make(map[int32]struct{}, len(roots))
 	for _, r := range roots {
@@ -149,37 +150,15 @@ func NewForest(g *graph.Graph, roots []int32, parallelism int) *Forest {
 		Roots: uniq,
 		Trees: make(map[int32]*Tree, len(uniq)),
 	}
-	if parallelism < 2 || len(uniq) < 2 {
-		for _, r := range uniq {
-			f.Trees[r] = New(g, int(r))
-		}
-		return f
+	if pool == nil {
+		pool = engine.New(1)
 	}
-	if parallelism > len(uniq) {
-		parallelism = len(uniq)
-	}
-	type result struct {
-		root int32
-		tree *Tree
-	}
-	work := make(chan int32)
-	results := make(chan result)
-	for w := 0; w < parallelism; w++ {
-		go func() {
-			for r := range work {
-				results <- result{root: r, tree: New(g, int(r))}
-			}
-		}()
-	}
-	go func() {
-		for _, r := range uniq {
-			work <- r
-		}
-		close(work)
-	}()
-	for range uniq {
-		res := <-results
-		f.Trees[res.root] = res.tree
+	built := make([]*Tree, len(uniq))
+	pool.Run(len(uniq), func(i int) {
+		built[i] = New(g, int(uniq[i]))
+	})
+	for i, r := range uniq {
+		f.Trees[r] = built[i]
 	}
 	return f
 }

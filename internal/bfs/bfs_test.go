@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"msrp/internal/engine"
 	"testing"
 	"testing/quick"
 
@@ -145,8 +146,8 @@ func TestForestSequentialVsParallel(t *testing.T) {
 	rng := xrand.New(6)
 	g := graph.RandomConnected(rng, 100, 300)
 	roots := []int32{0, 5, 9, 5, 33, 0} // duplicates on purpose
-	seq := NewForest(g, roots, 1)
-	par := NewForest(g, roots, 4)
+	seq := NewForest(g, roots, engine.New(1))
+	par := NewForest(g, roots, engine.New(4))
 	if len(seq.Roots) != 4 || len(par.Roots) != 4 {
 		t.Fatalf("dedup failed: %d, %d", len(seq.Roots), len(par.Roots))
 	}

@@ -1,6 +1,10 @@
 package classic
 
-import "math"
+import (
+	"math"
+
+	"msrp/internal/engine"
+)
 
 // chminTree is a segment tree supporting range "chmin" updates
 // (value[i] = min(value[i], x) for i in [lo, hi]) and point queries.
@@ -21,6 +25,14 @@ type chminTree struct {
 const chminInf = int64(math.MaxInt64)
 
 func newChminTree(n int) *chminTree {
+	return newChminTreeScratch(n, &engine.Scratch{})
+}
+
+// newChminTreeScratch backs the tree's arrays with an engine scratch so
+// repeated per-landmark runs reuse one allocation. The tree is valid
+// only until the scratch is reset; the payload array needs no clearing
+// because queries read a payload only where a chmin already landed.
+func newChminTreeScratch(n int, sc *engine.Scratch) *chminTree {
 	size := 1
 	for size < n {
 		size *= 2
@@ -30,8 +42,8 @@ func newChminTree(n int) *chminTree {
 	}
 	t := &chminTree{
 		size:    size,
-		min:     make([]int64, 2*size),
-		payload: make([]int64, 2*size),
+		min:     sc.Int64(2 * size),
+		payload: sc.Int64(2 * size),
 	}
 	for i := range t.min {
 		t.min[i] = chminInf

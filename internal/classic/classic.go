@@ -40,6 +40,7 @@ package classic
 
 import (
 	"msrp/internal/bfs"
+	"msrp/internal/engine"
 	"msrp/internal/graph"
 	"msrp/internal/rp"
 )
@@ -79,17 +80,33 @@ func Pair(g *graph.Graph, ts, tt *bfs.Tree, t int32) []int32 {
 	return lengths
 }
 
+// PairScratch is Pair with its transient O(n + m) working state carved
+// from the given engine scratch instead of freshly allocated — the form
+// used by the per-landmark fan-out of ssrp.PerSource and the Oracle's
+// lazy source builds, where Pair runs once per landmark.
+func PairScratch(g *graph.Graph, ts, tt *bfs.Tree, t int32, sc *engine.Scratch) []int32 {
+	lengths, _ := pairWitness(g, ts, tt, t, sc)
+	return lengths
+}
+
 // PairWitness is Pair plus, for every path edge, the crossing-edge
 // witness of the winning replacement path (V = -1 where none exists).
 func PairWitness(g *graph.Graph, ts, tt *bfs.Tree, t int32) ([]int32, []Witness) {
+	return pairWitness(g, ts, tt, t, nil)
+}
+
+func pairWitness(g *graph.Graph, ts, tt *bfs.Tree, t int32, sc *engine.Scratch) ([]int32, []Witness) {
 	if tt.Root != t {
 		panic("classic: tt is not the BFS tree of t")
 	}
 	if !ts.Reachable(t) || ts.Root == t {
 		return nil, nil
 	}
+	if sc == nil {
+		sc = &engine.Scratch{}
+	}
 	L := int(ts.Dist[t])
-	out := make([]int32, L)
+	out := make([]int32, L) // retained by callers; never scratch-backed
 	for i := range out {
 		out[i] = rp.Inf
 	}
@@ -98,15 +115,17 @@ func PairWitness(g *graph.Graph, ts, tt *bfs.Tree, t int32) ([]int32, []Witness)
 	// path; -1 for unreachable vertices. One top-down pass over the BFS
 	// order (parents precede children).
 	n := g.NumVertices()
-	branch := make([]int32, n)
+	branch := sc.Int32(n)
 	for i := range branch {
 		branch[i] = -1
 	}
-	onPath := make([]bool, n)
-	pathEdge := make(map[int32]struct{}, L)
+	onPath := sc.Bool(n)
+	clear(onPath)
+	pathEdge := sc.Bool(g.NumEdges())
+	clear(pathEdge)
 	for x := t; x != ts.Root; x = ts.Parent[x] {
 		onPath[x] = true
-		pathEdge[ts.ParentEdge[x]] = struct{}{}
+		pathEdge[ts.ParentEdge[x]] = true
 	}
 	onPath[ts.Root] = true
 	for _, v := range ts.Order {
@@ -117,7 +136,7 @@ func PairWitness(g *graph.Graph, ts, tt *bfs.Tree, t int32) ([]int32, []Witness)
 		}
 	}
 
-	seg := newChminTree(L)
+	seg := newChminTreeScratch(L, sc)
 	addCandidates := func(u, v int32) {
 		// Register d(s,u) + 1 + d(v,t) for every i with u ∈ R_i and
 		// v ∈ D_i, i.e. i ∈ [branch(u), branch(v)−1]. The payload packs
@@ -133,7 +152,7 @@ func PairWitness(g *graph.Graph, ts, tt *bfs.Tree, t int32) ([]int32, []Witness)
 			int64(u)<<32|int64(uint32(v)))
 	}
 	for e := int32(0); e < int32(g.NumEdges()); e++ {
-		if _, onP := pathEdge[e]; onP {
+		if pathEdge[e] {
 			continue
 		}
 		u, v := g.EdgeEndpoints(int(e))

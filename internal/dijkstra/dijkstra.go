@@ -39,6 +39,17 @@ func NewBuilder(n, arcHint int) *Builder {
 	}
 }
 
+// Reset reinitializes the builder for a graph on n nodes, keeping the
+// arc arrays' capacity. Workers that build one auxiliary graph per item
+// (internal/msrp's §8.1/§8.2.2 stages) reset a per-worker builder
+// instead of allocating a new one per item.
+func (b *Builder) Reset(n int) {
+	b.n = n
+	b.from = b.from[:0]
+	b.to = b.to[:0]
+	b.w = b.w[:0]
+}
+
 // NumNodes returns the node count.
 func (b *Builder) NumNodes() int { return b.n }
 

@@ -1,0 +1,197 @@
+// Package engine provides the sharded execution primitives shared by
+// every parallel stage of the repository: a sized worker pool for
+// index-structured work and an arena-style per-worker scratch space.
+//
+// The MSRP pipeline (internal/msrp), the landmark BFS forests
+// (internal/bfs), and the batched Oracle all have the same shape of
+// parallelism: n independent items where fn(i) touches only the i-th
+// item's state. The engine shards those items across a bounded set of
+// workers. Because item i's output never depends on which worker ran it
+// or in what order, the schedule cannot change the result: output is
+// deterministic for any worker count (asserted by the determinism tests
+// at every layer above).
+//
+// Scratch removes the other cost of fanning out: per-item O(n)
+// allocations. Each worker owns one Scratch, reused across all items it
+// processes and — because the Pool keeps a free list — across pipeline
+// stages too. After warmup a parallel stage performs no per-item
+// scratch allocation at all.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a sized worker pool. The zero value is not useful; construct
+// with New. A Pool is safe for concurrent use and may be shared across
+// pipeline stages: its scratch free list is what carries buffer reuse
+// from one stage to the next.
+type Pool struct {
+	workers int
+
+	mu   sync.Mutex
+	free []*Scratch
+}
+
+// New returns a pool with the given worker bound. workers <= 0 selects
+// GOMAXPROCS ("as parallel as the hardware allows"); workers == 1 means
+// strictly sequential execution on the calling goroutine.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the resolved worker bound (always >= 1).
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(i) for every i in [0, n), sharded across up to
+// Workers() goroutines. fn must touch only state owned by its index.
+// Run returns after every item has completed.
+func (p *Pool) Run(n int, fn func(i int)) {
+	p.RunScratch(n, func(i int, _ *Scratch) { fn(i) })
+}
+
+// RunScratch is Run with a per-worker Scratch: all items executed by
+// the same worker share one Scratch, which is Reset between items.
+// Buffers obtained from the Scratch are valid only for the current
+// item.
+func (p *Pool) RunScratch(n int, fn func(i int, s *Scratch)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 {
+		s := p.grab()
+		for i := 0; i < n; i++ {
+			s.Reset()
+			fn(i, s)
+		}
+		p.release(s)
+		return
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			s := p.grab()
+			defer p.release(s)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				s.Reset()
+				fn(i, s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// grab takes a Scratch off the free list, or allocates a fresh one.
+func (p *Pool) grab() *Scratch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if k := len(p.free); k > 0 {
+		s := p.free[k-1]
+		p.free = p.free[:k-1]
+		return s
+	}
+	return &Scratch{}
+}
+
+// release returns a Scratch to the free list for the next stage.
+func (p *Pool) release(s *Scratch) {
+	s.Reset()
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}
+
+// Scratch is an arena of reusable typed buffers owned by one worker.
+// Buffers are carved off growable backing arrays; Reset recycles them
+// all without freeing, so steady-state use allocates nothing.
+//
+// Contents of returned buffers are unspecified (not zeroed): callers
+// that need a sentinel fill must write it themselves, exactly as they
+// would after make().
+type Scratch struct {
+	i32     []int32
+	i32Used int
+	i64     []int64
+	i64Used int
+	bools   []bool
+	bUsed   int
+
+	attach map[string]any
+}
+
+// Reset recycles every buffer handed out since the previous Reset.
+// Attached values (Attach) survive: they are the per-worker caches that
+// make cross-item reuse possible.
+func (s *Scratch) Reset() {
+	s.i32Used, s.i64Used, s.bUsed = 0, 0, 0
+}
+
+// Int32 returns an uninitialized length-n buffer valid until Reset.
+func (s *Scratch) Int32(n int) []int32 {
+	if s.i32Used+n > len(s.i32) {
+		grown := make([]int32, s.i32Used+n)
+		// Earlier buffers from this arena are still live; keep them.
+		copy(grown, s.i32[:s.i32Used])
+		s.i32 = grown
+	}
+	b := s.i32[s.i32Used : s.i32Used+n : s.i32Used+n]
+	s.i32Used += n
+	return b
+}
+
+// Int64 returns an uninitialized length-n buffer valid until Reset.
+func (s *Scratch) Int64(n int) []int64 {
+	if s.i64Used+n > len(s.i64) {
+		grown := make([]int64, s.i64Used+n)
+		copy(grown, s.i64[:s.i64Used])
+		s.i64 = grown
+	}
+	b := s.i64[s.i64Used : s.i64Used+n : s.i64Used+n]
+	s.i64Used += n
+	return b
+}
+
+// Bool returns an uninitialized length-n buffer valid until Reset.
+func (s *Scratch) Bool(n int) []bool {
+	if s.bUsed+n > len(s.bools) {
+		grown := make([]bool, s.bUsed+n)
+		copy(grown, s.bools[:s.bUsed])
+		s.bools = grown
+	}
+	b := s.bools[s.bUsed : s.bUsed+n : s.bUsed+n]
+	s.bUsed += n
+	return b
+}
+
+// Attach returns the per-worker value stored under key, constructing it
+// with mk on first use. Attached values persist across Reset and across
+// stages (via the pool free list); they are how workers keep expensive
+// reusable structures — e.g. a Dijkstra arc builder — alive between
+// items.
+func (s *Scratch) Attach(key string, mk func() any) any {
+	if s.attach == nil {
+		s.attach = make(map[string]any, 2)
+	}
+	v, ok := s.attach[key]
+	if !ok {
+		v = mk()
+		s.attach[key] = v
+	}
+	return v
+}

@@ -211,6 +211,48 @@ func CycleWithChords(rng *xrand.RNG, n, chords int) *Graph {
 	return b.MustBuild()
 }
 
+// PathWithChords returns the path 0-1-…-(n-1) plus `chords` random
+// chords. Like CycleWithChords but with bridge edges at the ends: path
+// edges outside every chord's span have no replacement path, so the
+// family exercises the NoPath machinery and the far-edge bands at once.
+func PathWithChords(rng *xrand.RNG, n, chords int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: PathWithChords(%d,...) needs n >= 2", n))
+	}
+	b := NewBuilder(n)
+	seen := make(map[int64]struct{}, n+chords)
+	add := func(u, v int) bool {
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if _, dup := seen[key]; dup {
+			return false
+		}
+		seen[key] = struct{}{}
+		mustAdd(b, u, v)
+		return true
+	}
+	for i := 0; i+1 < n; i++ {
+		add(i, i+1)
+	}
+	maxChords := int(int64(n)*int64(n-1)/2) - (n - 1)
+	if chords > maxChords {
+		panic(fmt.Sprintf("graph: PathWithChords(%d,%d) exceeds %d possible chords", n, chords, maxChords))
+	}
+	placed := 0
+	for placed < chords {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if add(u, v) {
+			placed++
+		}
+	}
+	return b.MustBuild()
+}
+
 // PreferentialAttachment returns a Barabási–Albert style graph: vertices
 // arrive one at a time and connect to k distinct existing vertices
 // chosen proportionally to degree. Produces the heavy-tailed degree

@@ -3,7 +3,7 @@ package msrp
 import (
 	"sort"
 
-	"msrp/internal/dijkstra"
+	"msrp/internal/engine"
 	"msrp/internal/rp"
 	"msrp/internal/ssrp"
 )
@@ -89,7 +89,7 @@ func computeMTCRow(ps *ssrp.PerSource, ctr *Centers, sc *sourceCenter, cl *cente
 
 // buildBottleneck runs §8.3 for one source: picks bottleneck edges per
 // interval (§8.3.1) and solves the §8.3.2 auxiliary graph.
-func buildBottleneck(ps *ssrp.PerSource, ctr *Centers, sc *sourceCenter, cl *centerLandmark) *bottleneckState {
+func buildBottleneck(ps *ssrp.PerSource, ctr *Centers, sc *sourceCenter, cl *centerLandmark, scr *engine.Scratch) *bottleneckState {
 	sh := ps.Sh
 	ts := ps.Ts
 	g := sh.G
@@ -148,7 +148,7 @@ func buildBottleneck(ps *ssrp.PerSource, ctr *Centers, sc *sourceCenter, cl *cen
 	total := int(next)
 
 	// Pass 2: arcs.
-	bld := dijkstra.NewBuilder(total, total*4)
+	bld := ssrp.AttachedBuilder(scr, total, total*4)
 	for li := range lms {
 		bld.AddArc(0, lms[li].node, ts.Dist[lms[li].r]) // [s]→[r']
 	}
@@ -240,8 +240,8 @@ func buildBottleneck(ps *ssrp.PerSource, ctr *Centers, sc *sourceCenter, cl *cen
 
 // assembleLenSRBottleneck is the paper-faithful §8.3 assembly:
 // d(s,r,e) = min(MTC(s,r,e), sr⋄B[interval], §7.1 small value).
-func assembleLenSRBottleneck(ps *ssrp.PerSource, ctr *Centers, sc *sourceCenter, cl *centerLandmark) (map[int32][]int32, *bottleneckState) {
-	bs := buildBottleneck(ps, ctr, sc, cl)
+func assembleLenSRBottleneck(ps *ssrp.PerSource, ctr *Centers, sc *sourceCenter, cl *centerLandmark, scr *engine.Scratch) (map[int32][]int32, *bottleneckState) {
+	bs := buildBottleneck(ps, ctr, sc, cl, scr)
 	sh := ps.Sh
 	ts := ps.Ts
 	lenSR := make(map[int32][]int32, len(sh.List))

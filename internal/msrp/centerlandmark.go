@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"msrp/internal/cuckoo"
-	"msrp/internal/dijkstra"
+	"msrp/internal/engine"
 	"msrp/internal/rp"
 	"msrp/internal/ssrp"
 )
@@ -113,8 +113,8 @@ func buildCenterLandmark(sh *ssrp.Shared, ctr *Centers, seed *cuckoo.Table) *cen
 	}
 	perCenter := make([]map[int32][]int32, len(ctr.List))
 	sizes := make([][2]int64, len(ctr.List))
-	runParallel(len(ctr.List), sh.Params.Parallelism, func(i int) {
-		perCenter[i], sizes[i] = cl.buildOne(sh, ctr.List[i], seed)
+	sh.Pool.RunScratch(len(ctr.List), func(i int, sc *engine.Scratch) {
+		perCenter[i], sizes[i] = cl.buildOne(sh, ctr.List[i], seed, sc)
 	})
 	for i, c := range ctr.List {
 		cl.rows[c] = perCenter[i]
@@ -126,8 +126,9 @@ func buildCenterLandmark(sh *ssrp.Shared, ctr *Centers, seed *cuckoo.Table) *cen
 
 // buildOne builds and solves G_c, returning the d(c,r,·) rows and the
 // graph's (nodes, arcs) size pair. It must not write shared state:
-// buildCenterLandmark runs it concurrently across centers.
-func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed *cuckoo.Table) (map[int32][]int32, [2]int64) {
+// buildCenterLandmark runs it concurrently across centers. sc backs the
+// transient arc builder and covered-edge buffers.
+func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed *cuckoo.Table, sc *engine.Scratch) (map[int32][]int32, [2]int64) {
 	g := sh.G
 	ctr := cl.ctr
 	tc := ctr.Tree[c]
@@ -163,7 +164,7 @@ func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed *cuckoo.Table)
 		// The covered edges are the T_c path *prefix*: walk up from r
 		// and keep the first `count` edges (positions 0..count-1 from
 		// the c side).
-		in.pathEdge = make([]int32, count)
+		in.pathEdge = sc.Int32(int(count))
 		x := in.r
 		for j := l - 1; j >= 0; j-- {
 			if j < count {
@@ -174,7 +175,7 @@ func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed *cuckoo.Table)
 	}
 	total := int(next)
 
-	bld := dijkstra.NewBuilder(total, total*4)
+	bld := ssrp.AttachedBuilder(sc, total, total*4)
 	for idx := range infos {
 		bld.AddArc(0, infos[idx].node, tc.Dist[infos[idx].r])
 	}

@@ -42,12 +42,9 @@ func newCenters(sh *ssrp.Shared, rng *xrand.RNG) *Centers {
 		Levels: sample.New(rng, n, sh.Sigma(), sh.Params.SampleBoost, sh.Sources),
 	}
 	c.List = c.Levels.Union()
-	forest := bfs.NewForest(g, c.List, sh.Params.Parallelism)
+	forest := bfs.NewForest(g, c.List, sh.Pool)
 	c.Tree = forest.Trees
-	c.Anc = make(map[int32]*lca.Ancestry, len(c.List))
-	for _, v := range c.List {
-		c.Anc[v] = lca.NewAncestry(g, c.Tree[v])
-	}
+	c.Anc = ssrp.BuildAncestries(g, c.List, c.Tree, sh.Pool)
 	c.budget = make([]int32, c.Levels.MaxK+1)
 	for k := range c.budget {
 		b := int64(budgetFactor * float64(int64(1)<<uint(k)) * sh.X)

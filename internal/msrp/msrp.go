@@ -33,6 +33,7 @@
 package msrp
 
 import (
+	"msrp/internal/engine"
 	"msrp/internal/graph"
 	"msrp/internal/rp"
 	"msrp/internal/ssrp"
@@ -85,6 +86,18 @@ func Solve(g *graph.Graph, sources []int32, p Params) ([]*rp.Result, *Stats, err
 	if err != nil {
 		return nil, nil, err
 	}
+	return SolveShared(sh)
+}
+
+// SolveShared is Solve on already-built shared preprocessing, so
+// callers that keep a long-lived ssrp.Shared (the public Oracle) do
+// not pay the Õ(m√(nσ)) landmark stage twice. Deterministic in the
+// Shared alone: repeated calls return bit-identical results.
+func SolveShared(sh *ssrp.Shared) ([]*rp.Result, *Stats, error) {
+	g, sources, p := sh.G, sh.Sources, sh.Params
+	if err := checkPackable(g.NumVertices(), g.NumEdges()); err != nil {
+		return nil, nil, err
+	}
 	stats := &Stats{Stats: *sh.NewStats()}
 
 	// Centers (§8 preliminaries).
@@ -95,14 +108,16 @@ func Solve(g *graph.Graph, sources []int32, p Params) ([]*rp.Result, *Stats, err
 	}
 
 	// Per-source trees, §7.1 graphs, and §8.1 graphs. Sources are
-	// independent here, so the stage fans out across workers.
+	// independent here, so the stage shards across the engine pool;
+	// each worker's scratch carries the arc-builder arrays from item to
+	// item (and, via the pool free list, into the later stages).
 	perSrc := make([]*ssrp.PerSource, len(sources))
 	scs := make([]*sourceCenter, len(sources))
-	runParallel(len(sources), p.Parallelism, func(i int) {
+	sh.Pool.RunScratch(len(sources), func(i int, sc *engine.Scratch) {
 		ps := sh.NewPerSource(sources[i])
-		ps.BuildSmallNear()
+		ps.BuildSmallNearScratch(sc)
 		perSrc[i] = ps
-		scs[i] = buildSourceCenter(ps, ctr)
+		scs[i] = buildSourceCenter(ps, ctr, sc)
 	})
 	for i := range perSrc {
 		stats.AuxNodes += int64(perSrc[i].Small.NumNodes)
@@ -129,10 +144,10 @@ func Solve(g *graph.Graph, sources []int32, p Params) ([]*rp.Result, *Stats, err
 		bnArcs  int64
 	}
 	pss := make([]perSourceStats, len(perSrc))
-	runParallel(len(perSrc), p.Parallelism, func(i int) {
+	sh.Pool.RunScratch(len(perSrc), func(i int, sc *engine.Scratch) {
 		ps := perSrc[i]
 		if p.PaperBottleneck {
-			lenSR, bs := assembleLenSRBottleneck(ps, ctr, scs[i], cl)
+			lenSR, bs := assembleLenSRBottleneck(ps, ctr, scs[i], cl, sc)
 			ps.SetLenSR(lenSR)
 			pss[i].bnNodes = int64(bs.NumNodes)
 			pss[i].bnArcs = int64(bs.NumArcs)

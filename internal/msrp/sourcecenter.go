@@ -1,7 +1,7 @@
 package msrp
 
 import (
-	"msrp/internal/dijkstra"
+	"msrp/internal/engine"
 	"msrp/internal/rp"
 	"msrp/internal/ssrp"
 )
@@ -40,7 +40,7 @@ type sourceCenter struct {
 // The index identity from the shared-prefix property applies: an edge e
 // of T_s on both the s→c and s→c' canonical paths has the same 0-based
 // index i on both, so [c',e] is c”s block at offset i−start[c'].
-func buildSourceCenter(ps *ssrp.PerSource, ctr *Centers) *sourceCenter {
+func buildSourceCenter(ps *ssrp.PerSource, ctr *Centers, scr *engine.Scratch) *sourceCenter {
 	g := ps.Sh.G
 	ts := ps.Ts
 	sc := &sourceCenter{
@@ -81,7 +81,7 @@ func buildSourceCenter(ps *ssrp.PerSource, ctr *Centers) *sourceCenter {
 		in.base = next
 		next += in.count
 		// Walk up from c collecting the covered suffix of the path.
-		in.pathEdge = make([]int32, in.count)
+		in.pathEdge = scr.Int32(int(in.count))
 		x := in.c
 		for i := l - 1; i >= start; i-- {
 			in.pathEdge[i-start] = ts.ParentEdge[x]
@@ -91,7 +91,7 @@ func buildSourceCenter(ps *ssrp.PerSource, ctr *Centers) *sourceCenter {
 	}
 	total := int(next)
 
-	bld := dijkstra.NewBuilder(total, total*4)
+	bld := ssrp.AttachedBuilder(scr, total, total*4)
 	// [s] → [c] arcs.
 	for idx := range infos {
 		bld.AddArc(0, infos[idx].node, ts.Dist[infos[idx].c])

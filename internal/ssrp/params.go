@@ -25,9 +25,12 @@ type Params struct {
 	// Boost·Scale ≥ 1.
 	SuffixScale float64
 
-	// Parallelism bounds the worker goroutines used for the
-	// embarrassingly parallel stages (BFS forests). Values < 2 mean
-	// sequential.
+	// Parallelism bounds the worker goroutines of the execution engine
+	// (internal/engine) across every parallel stage: landmark/center BFS
+	// forests, the per-landmark classical runs, and the per-source and
+	// per-center MSRP pipeline stages. 1 means sequential; values <= 0
+	// select GOMAXPROCS. Output is identical for every value (the engine
+	// only shards index-owned work).
 	Parallelism int
 
 	// ExhaustiveNear forces every edge to be "near" and every

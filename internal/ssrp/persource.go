@@ -1,11 +1,11 @@
 package ssrp
 
 import (
+	"msrp/internal/bfs"
 	"msrp/internal/classic"
+	"msrp/internal/engine"
 	"msrp/internal/lca"
 	"msrp/internal/rp"
-
-	"msrp/internal/bfs"
 )
 
 // PerSource carries the per-source state of the solver: the canonical
@@ -51,25 +51,49 @@ func (sh *Shared) NewPerSource(s int32) *PerSource {
 
 // BuildSmallNear constructs and solves the §7.1 auxiliary graph.
 func (ps *PerSource) BuildSmallNear() {
-	ps.Small = buildSmallNear(ps)
+	ps.Small = buildSmallNear(ps, nil)
+}
+
+// BuildSmallNearScratch is BuildSmallNear reusing a per-worker scratch
+// for the transient arc-builder arrays (the MSRP per-source fan-out).
+func (ps *PerSource) BuildSmallNearScratch(sc *engine.Scratch) {
+	ps.Small = buildSmallNear(ps, sc)
 }
 
 // ComputeLenSRClassic fills LenSR by running the classical single-pair
 // replacement path algorithm from s to every landmark — the paper's
 // single-source strategy (§3): Õ(m+n) per landmark, Õ(m√n) total.
-// With TrackPaths set it also stores the crossing-edge witnesses.
+// Landmarks are independent, so the runs shard across the instance
+// pool, each worker reusing one scratch for the per-landmark O(n+m)
+// working state. With TrackPaths set it also stores the crossing-edge
+// witnesses (sequentially; the single-source path only).
 func (ps *PerSource) ComputeLenSRClassic() {
+	ps.ComputeLenSRClassicPool(ps.Sh.Pool)
+}
+
+// ComputeLenSRClassicPool is ComputeLenSRClassic on an explicit engine
+// pool. Callers that already fan out one level up — the Oracle's batch
+// builder runs whole sources in parallel — pass a sequential pool here
+// to keep the parallelism single-level.
+func (ps *PerSource) ComputeLenSRClassicPool(pool *engine.Pool) {
 	if ps.TrackPaths {
 		ps.computeWitnesses()
 		return
 	}
 	sh := ps.Sh
-	ps.LenSR = make(map[int32][]int32, len(sh.List))
-	for _, r := range sh.List {
+	rows := make([][]int32, len(sh.List))
+	pool.RunScratch(len(sh.List), func(i int, sc *engine.Scratch) {
+		r := sh.List[i]
 		if r == ps.S || !ps.Ts.Reachable(r) {
-			continue
+			return
 		}
-		ps.LenSR[r] = classic.Pair(sh.G, ps.Ts, sh.Tree[r], r)
+		rows[i] = classic.PairScratch(sh.G, ps.Ts, sh.Tree[r], r, sc)
+	})
+	ps.LenSR = make(map[int32][]int32, len(sh.List))
+	for i, r := range sh.List {
+		if rows[i] != nil {
+			ps.LenSR[r] = rows[i]
+		}
 	}
 }
 

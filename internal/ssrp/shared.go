@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"msrp/internal/bfs"
+	"msrp/internal/engine"
 	"msrp/internal/graph"
 	"msrp/internal/lca"
 	"msrp/internal/rp"
@@ -34,7 +35,16 @@ type Shared struct {
 	Tree map[int32]*bfs.Tree
 	Anc  map[int32]*lca.Ancestry
 
+	// Pool is the engine worker pool shared by every parallel stage of
+	// this instance, sized by Params.Parallelism. Its scratch free list
+	// carries per-worker buffers from stage to stage.
+	Pool *engine.Pool
+
 	rng *xrand.RNG
+	// derived is the frozen split handed out by DeriveRNG; a stored
+	// value (not the live rng) so DeriveRNG is idempotent — repeated
+	// solves over one Shared sample identical center families.
+	derived xrand.RNG
 }
 
 // NewShared runs the source-independent preprocessing for a σ-source
@@ -68,6 +78,7 @@ func NewShared(g *graph.Graph, sources []int32, p Params) (*Shared, error) {
 		G:       g,
 		Sources: append([]int32(nil), sources...),
 		Params:  p,
+		Pool:    engine.New(p.Parallelism),
 		rng:     xrand.New(p.Seed),
 	}
 	sh.X = p.suffixUnit(n, sigma)
@@ -83,15 +94,28 @@ func NewShared(g *graph.Graph, sources []int32, p Params) (*Shared, error) {
 	}
 
 	sh.Landmarks = sample.New(sh.rng.Split(), n, sigma, p.SampleBoost, sh.Sources)
+	sh.derived = *sh.rng.Split()
 	sh.List = sh.Landmarks.Union()
 
-	forest := bfs.NewForest(g, sh.List, p.Parallelism)
+	forest := bfs.NewForest(g, sh.List, sh.Pool)
 	sh.Tree = forest.Trees
-	sh.Anc = make(map[int32]*lca.Ancestry, len(sh.List))
-	for _, r := range sh.List {
-		sh.Anc[r] = lca.NewAncestry(g, sh.Tree[r])
-	}
+	sh.Anc = BuildAncestries(g, sh.List, sh.Tree, sh.Pool)
 	return sh, nil
+}
+
+// BuildAncestries constructs one ancestry index per root, sharded
+// across the pool (roots are independent, each O(n)). Shared here and
+// by the §8 center family.
+func BuildAncestries(g *graph.Graph, roots []int32, trees map[int32]*bfs.Tree, pool *engine.Pool) map[int32]*lca.Ancestry {
+	built := make([]*lca.Ancestry, len(roots))
+	pool.Run(len(roots), func(i int) {
+		built[i] = lca.NewAncestry(g, trees[roots[i]])
+	})
+	anc := make(map[int32]*lca.Ancestry, len(roots))
+	for i, r := range roots {
+		anc[r] = built[i]
+	}
+	return anc
 }
 
 // Sigma returns the number of sources σ.
@@ -99,8 +123,13 @@ func (sh *Shared) Sigma() int { return len(sh.Sources) }
 
 // DeriveRNG returns a fresh deterministic generator derived from the
 // instance seed; the MSRP layer uses it to sample its center family
-// independently of the landmark draws.
-func (sh *Shared) DeriveRNG() *xrand.RNG { return sh.rng.Split() }
+// independently of the landmark draws. Every call returns a copy of
+// the same frozen stream, so repeated solves over one Shared (the
+// Oracle's Warm path) stay bit-identical.
+func (sh *Shared) DeriveRNG() *xrand.RNG {
+	c := sh.derived
+	return &c
+}
 
 // NewStats exposes the landmark-size snapshot for callers outside the
 // package (the MSRP solver shares the Stats shape).

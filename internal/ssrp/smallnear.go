@@ -2,8 +2,27 @@ package ssrp
 
 import (
 	"msrp/internal/dijkstra"
+	"msrp/internal/engine"
 	"msrp/internal/rp"
 )
+
+// ArcBuilderKey is the scratch attachment key under which every
+// auxiliary-graph stage keeps its per-worker dijkstra arc builder.
+// Sharing one key is deliberate: stages run sequentially within an
+// item, and each finalizes (copies out of) the builder before the next
+// resets it, so one builder's capacity serves them all.
+const ArcBuilderKey = "dijkstra.builder"
+
+// AttachedBuilder returns the per-worker arc builder of sc, reset for a
+// graph on n nodes. A nil scratch yields a fresh builder.
+func AttachedBuilder(sc *engine.Scratch, n, arcHint int) *dijkstra.Builder {
+	if sc == nil {
+		return dijkstra.NewBuilder(n, arcHint)
+	}
+	b := sc.Attach(ArcBuilderKey, func() any { return dijkstra.NewBuilder(0, 0) }).(*dijkstra.Builder)
+	b.Reset(n)
+	return b
+}
 
 // SmallNear is the §7.1 auxiliary graph G_s and its Dijkstra solution.
 // It answers, for every target t and every near edge e on the canonical
@@ -48,8 +67,9 @@ type SmallNear struct {
 }
 
 // buildSmallNear constructs the §7.1 auxiliary graph for this source
-// and solves it with one Dijkstra run.
-func buildSmallNear(ps *PerSource) *SmallNear {
+// and solves it with one Dijkstra run. sc (optional) backs the
+// transient arc-builder arrays.
+func buildSmallNear(ps *PerSource, sc *engine.Scratch) *SmallNear {
 	g := ps.Sh.G
 	ts := ps.Ts
 	n := g.NumVertices()
@@ -88,7 +108,7 @@ func buildSmallNear(ps *PerSource) *SmallNear {
 		}
 	}
 
-	b := dijkstra.NewBuilder(total, total)
+	b := AttachedBuilder(sc, total, total)
 	// [s] → [v] arcs, the compressed canonical prefixes.
 	for v := int32(0); v < int32(n); v++ {
 		if v != ts.Root && ts.Reachable(v) {

@@ -109,8 +109,19 @@ type Options struct {
 	// X = √(n/σ)·log₂n. Keep SampleBoost·SuffixScale ≥ 1.
 	SuffixScale float64
 
-	// Parallelism bounds worker goroutines in the BFS-forest stages.
+	// Parallelism bounds the execution engine's worker goroutines
+	// across every parallel stage: landmark/center BFS forests, the
+	// per-landmark classical runs, the per-source and per-center MSRP
+	// pipeline stages, and the Oracle's batched builds. 1 means
+	// sequential; values <= 0 select GOMAXPROCS. Output is identical
+	// for every value.
 	Parallelism int
+
+	// MaxCachedSources bounds how many materialized per-source results
+	// an Oracle retains at once (least-recently-used eviction), so σ can
+	// exceed what fits in memory all at once. 0 means unlimited. Evicted
+	// sources are rebuilt on demand with identical answers.
+	MaxCachedSources int
 
 	// ExhaustiveNear switches to the deterministic-exact (but slower)
 	// mode that routes every query through the §7.1 auxiliary graph.
@@ -256,35 +267,5 @@ func MultiSource(g *Graph, sources []int, opts Options) ([]*Result, error) {
 	return out, nil
 }
 
-// Oracle bundles multi-source results behind a single query interface,
-// in the spirit of the fault-tolerant distance oracles the paper's
-// related-work section surveys (Bernstein–Karger, Demetrescu et al.).
-type Oracle struct {
-	bySource map[int]*Result
-}
-
-// NewOracle builds an oracle over the given sources.
-func NewOracle(g *Graph, sources []int, opts Options) (*Oracle, error) {
-	results, err := MultiSource(g, sources, opts)
-	if err != nil {
-		return nil, err
-	}
-	o := &Oracle{bySource: make(map[int]*Result, len(results))}
-	for i, s := range sources {
-		o.bySource[s] = results[i]
-	}
-	return o, nil
-}
-
-// Query returns the length of the shortest s→t path avoiding edge
-// {u, v}. s must be one of the oracle's sources.
-func (o *Oracle) Query(s, t, u, v int) (int32, error) {
-	res, ok := o.bySource[s]
-	if !ok {
-		return 0, fmt.Errorf("msrp: %d is not an oracle source", s)
-	}
-	return res.AvoidEdge(t, u, v)
-}
-
-// Result returns the full per-source result, or nil.
-func (o *Oracle) Result(s int) *Result { return o.bySource[s] }
+// The Oracle — the concurrency-safe, batch-oriented serving layer over
+// these solvers — lives in oracle.go.

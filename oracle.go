@@ -1,0 +1,315 @@
+package msrp
+
+import (
+	"fmt"
+	"sync"
+
+	"msrp/internal/engine"
+	msrpcore "msrp/internal/msrp"
+	"msrp/internal/ssrp"
+)
+
+// Query is one replacement-path question for Oracle.QueryBatch: the
+// length of the shortest Source→Target path avoiding the edge {U, V}.
+type Query struct {
+	Source, Target int
+	U, V           int
+}
+
+// Answer is the result of one Query. Err is non-nil when the query was
+// malformed (unknown source, missing edge, edge off the canonical
+// path); Length is NoPath when the avoided edge is a bridge.
+type Answer struct {
+	Length int32
+	Err    error
+}
+
+// Oracle is a concurrency-safe, batch-oriented replacement-path server
+// over a fixed graph and source set, in the spirit of the
+// fault-tolerant distance oracles the paper's related-work section
+// surveys (Bernstein–Karger, Demetrescu et al.).
+//
+// Construction is lazy: NewOracle performs only the source-independent
+// preprocessing (the landmark family and its BFS forest, shared by
+// every source — Õ(m√(nσ))). A source's full result materializes the
+// first time a query needs it, deduplicated across concurrent callers
+// by single-flight, and is retained in an LRU bounded by
+// Options.MaxCachedSources — so σ can exceed what fits in memory for
+// all-at-once construction. Warm forces the all-sources batch build
+// (the paper's Theorem 1 pipeline), which is the faster route when
+// every source will be queried and memory allows.
+//
+// Answers are deterministic: a given oracle configuration (graph,
+// source set, options) yields the same answer for the same query
+// regardless of Parallelism, query order, cache evictions, or
+// concurrent callers. Every answer is sound (achievable by a real
+// path, NoPath only when provably no candidate exists) and exact with
+// probability ≥ 1 − 1/n per the paper's lemmas. The one fine print:
+// lazy builds use the single-source pipeline while Warm uses the
+// multi-source §8 pipeline; on the ≤ 1/n-probability entries where the
+// sampling misses, the two (individually deterministic, always sound)
+// paths may disagree, so an answer served before a Warm can differ
+// from one served after an eviction-then-Warm rebuild.
+type Oracle struct {
+	g        *Graph
+	opts     Options
+	sources  []int
+	isSource map[int]bool
+	sh       *ssrp.Shared
+	pool     *engine.Pool
+
+	mu       sync.Mutex
+	cache    map[int]*lruEntry
+	lruHead  *lruEntry // most recently used
+	lruTail  *lruEntry // least recently used; next eviction
+	inflight map[int]*oracleCall
+}
+
+type lruEntry struct {
+	s          int
+	res        *Result
+	prev, next *lruEntry
+}
+
+type oracleCall struct {
+	done chan struct{}
+	res  *Result
+}
+
+// NewOracle prepares an oracle over the given sources. Only the shared
+// preprocessing runs here; per-source results are built on first use
+// (or all at once by Warm).
+func NewOracle(g *Graph, sources []int, opts Options) (*Oracle, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	srcs := make([]int32, len(sources))
+	for i, s := range sources {
+		srcs[i] = int32(s)
+	}
+	sh, err := ssrp.NewShared(g.g, srcs, opts.params())
+	if err != nil {
+		return nil, err
+	}
+	o := &Oracle{
+		g:        g,
+		opts:     opts,
+		sources:  append([]int(nil), sources...),
+		isSource: make(map[int]bool, len(sources)),
+		sh:       sh,
+		pool:     sh.Pool,
+		cache:    make(map[int]*lruEntry, len(sources)),
+		inflight: make(map[int]*oracleCall),
+	}
+	for _, s := range sources {
+		o.isSource[s] = true
+	}
+	return o, nil
+}
+
+// Sources returns the oracle's source set in construction order.
+func (o *Oracle) Sources() []int { return append([]int(nil), o.sources...) }
+
+// Query answers a single replacement-path question; s must be one of
+// the oracle's sources. Safe for concurrent use.
+func (o *Oracle) Query(s, t, u, v int) (int32, error) {
+	res, err := o.result(s, o.pool)
+	if err != nil {
+		return 0, err
+	}
+	return res.AvoidEdge(t, u, v)
+}
+
+// QueryBatch answers a batch of queries, one Answer per Query in
+// order. Sources that are not yet materialized are built concurrently
+// (sharded across the engine pool), each exactly once even under
+// concurrent batches. Safe for concurrent use.
+func (o *Oracle) QueryBatch(queries []Query) []Answer {
+	answers := make([]Answer, len(queries))
+
+	// Group query indices by source, keeping first-seen order.
+	bySource := make(map[int][]int)
+	var order []int
+	for i, q := range queries {
+		if !o.isSource[q.Source] {
+			answers[i].Err = fmt.Errorf("msrp: %d is not an oracle source", q.Source)
+			continue
+		}
+		if _, seen := bySource[q.Source]; !seen {
+			order = append(order, q.Source)
+		}
+		bySource[q.Source] = append(bySource[q.Source], i)
+	}
+
+	// Materialize the batch's sources in parallel. The fan-out is
+	// across sources here, so each per-source build runs its landmark
+	// stage sequentially (single-level parallelism).
+	results := make([]*Result, len(order))
+	inner := engine.New(1)
+	o.pool.Run(len(order), func(i int) {
+		results[i], _ = o.result(order[i], inner) // source validated above
+	})
+
+	for i, s := range order {
+		res := results[i]
+		for _, qi := range bySource[s] {
+			q := queries[qi]
+			answers[qi].Length, answers[qi].Err = res.AvoidEdge(q.Target, q.U, q.V)
+		}
+	}
+	return answers
+}
+
+// Result returns the full per-source result, materializing it if
+// needed, or nil when s is not an oracle source. Safe for concurrent
+// use. The result stays valid even after the LRU evicts it.
+func (o *Oracle) Result(s int) *Result {
+	res, err := o.result(s, o.pool)
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+// Warm builds the results of every source in one batch via the MSRP
+// pipeline over the oracle's existing shared preprocessing (Theorem 1:
+// Õ(m√(nσ) + σn²) — cheaper than σ lazy builds, and the landmark
+// stage is not repeated) and caches them, subject to the LRU bound.
+// Sources already materialized are kept as-is; repeated calls are
+// deterministic.
+func (o *Oracle) Warm() error {
+	o.mu.Lock()
+	allCached := len(o.cache) == len(o.sources)
+	o.mu.Unlock()
+	if allCached {
+		return nil
+	}
+	results, _, err := msrpcore.SolveShared(o.sh)
+	if err != nil {
+		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i, s := range o.sources {
+		if _, ok := o.cache[s]; !ok {
+			o.insertLocked(s, wrapResult(o.g.g, results[i]))
+		}
+	}
+	return nil
+}
+
+// CachedSources returns how many per-source results are currently
+// materialized (for observability and tests).
+func (o *Oracle) CachedSources() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.cache)
+}
+
+// result returns the materialized result for s, building it at most
+// once across concurrent callers (single-flight). pool bounds the
+// landmark fan-out of a build triggered by this call.
+func (o *Oracle) result(s int, pool *engine.Pool) (*Result, error) {
+	if !o.isSource[s] {
+		return nil, fmt.Errorf("msrp: %d is not an oracle source", s)
+	}
+	o.mu.Lock()
+	if e, ok := o.cache[s]; ok {
+		o.touchLocked(e)
+		res := e.res
+		o.mu.Unlock()
+		return res, nil
+	}
+	if c, ok := o.inflight[s]; ok {
+		o.mu.Unlock()
+		<-c.done
+		return c.res, nil
+	}
+	c := &oracleCall{done: make(chan struct{})}
+	o.inflight[s] = c
+	o.mu.Unlock()
+
+	built := o.build(int32(s), pool)
+
+	o.mu.Lock()
+	if e, ok := o.cache[s]; ok {
+		// A concurrent Warm landed while we were building: its entry is
+		// already linked, so serve it and drop our build — inserting a
+		// second entry for s would desynchronize the LRU list from the
+		// cache map.
+		o.touchLocked(e)
+		c.res = e.res
+	} else {
+		c.res = built
+		o.insertLocked(s, built)
+	}
+	delete(o.inflight, s)
+	o.mu.Unlock()
+	close(c.done)
+	return c.res, nil
+}
+
+// build materializes one source against the shared preprocessing: the
+// §7.1 small-near graph, exact landmark replacement lengths via the
+// classical algorithm (sharded over pool), and the per-target combine.
+// Deterministic in (graph, source set, options) alone.
+func (o *Oracle) build(s int32, pool *engine.Pool) *Result {
+	ps := o.sh.NewPerSource(s)
+	ps.BuildSmallNear()
+	ps.ComputeLenSRClassicPool(pool)
+	return wrapResult(o.g.g, ps.Combine(nil))
+}
+
+// insertLocked adds s at the LRU head and evicts beyond the bound.
+// Callers hold o.mu.
+func (o *Oracle) insertLocked(s int, res *Result) {
+	e := &lruEntry{s: s, res: res}
+	o.cache[s] = e
+	e.next = o.lruHead
+	if o.lruHead != nil {
+		o.lruHead.prev = e
+	}
+	o.lruHead = e
+	if o.lruTail == nil {
+		o.lruTail = e
+	}
+	if max := o.opts.MaxCachedSources; max > 0 {
+		for len(o.cache) > max {
+			victim := o.lruTail
+			o.removeLocked(victim)
+			delete(o.cache, victim.s)
+		}
+	}
+}
+
+// touchLocked moves e to the LRU head. Callers hold o.mu.
+func (o *Oracle) touchLocked(e *lruEntry) {
+	if o.lruHead == e {
+		return
+	}
+	o.removeLocked(e)
+	e.prev = nil
+	e.next = o.lruHead
+	if o.lruHead != nil {
+		o.lruHead.prev = e
+	}
+	o.lruHead = e
+	if o.lruTail == nil {
+		o.lruTail = e
+	}
+}
+
+// removeLocked unlinks e from the LRU list. Callers hold o.mu.
+func (o *Oracle) removeLocked(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		o.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		o.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,98 @@
+package msrp
+
+// Oracle-specific regression tests for the serving-layer machinery:
+// the Warm/lazy-build race, LRU bookkeeping under eviction pressure,
+// and repeat-Warm determinism. The broader cross-checks live in
+// crosscheck_test.go and determinism_test.go.
+
+import (
+	"sync"
+	"testing"
+
+	"msrp/internal/naive"
+	"msrp/internal/rp"
+)
+
+// TestOracleWarmConcurrentWithLazyBuilds races Warm against lazy
+// per-source builds on a tightly bounded LRU. Regression: a Warm
+// landing while a lazy build was in flight used to insert a duplicate
+// LRU entry for the same source, desynchronizing the cache map from
+// the eviction list.
+func TestOracleWarmConcurrentWithLazyBuilds(t *testing.T) {
+	g := GenerateRandomConnected(21, 80, 240)
+	sources := []int{0, 10, 20, 30, 40, 50}
+	opts := testOptions(22)
+	opts.MaxCachedSources = 3
+	oracle, err := NewOracle(g, sources, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := oracle.Warm(); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for _, s := range sources {
+			if oracle.Result(s) == nil {
+				t.Errorf("Result(%d) = nil", s)
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := oracle.CachedSources(); got > opts.MaxCachedSources {
+		t.Fatalf("cache holds %d sources, bound %d", got, opts.MaxCachedSources)
+	}
+
+	// Every source must still answer exactly (thrashing the small LRU
+	// the whole way — each Result call may evict and rebuild).
+	for _, s := range sources {
+		res := oracle.Result(s)
+		want := naive.SSRP(g.Internal(), int32(s))
+		if d := rp.Diff(want, resultOf(res)); d != "" {
+			t.Fatalf("source %d after warm/lazy race: %s", s, d)
+		}
+	}
+
+	// Repeat Warm after evictions: must succeed and stay exact (the
+	// center-family RNG derivation is idempotent per Shared).
+	if err := oracle.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	if got := oracle.CachedSources(); got > opts.MaxCachedSources {
+		t.Fatalf("cache holds %d sources after re-Warm, bound %d", got, opts.MaxCachedSources)
+	}
+	for _, s := range sources {
+		want := naive.SSRP(g.Internal(), int32(s))
+		if d := rp.Diff(want, resultOf(oracle.Result(s))); d != "" {
+			t.Fatalf("source %d after second Warm: %s", s, d)
+		}
+	}
+}
+
+// TestOracleUnboundedCacheKeepsAllSources: with MaxCachedSources = 0
+// nothing is ever evicted.
+func TestOracleUnboundedCacheKeepsAllSources(t *testing.T) {
+	g := GenerateRandomConnected(23, 50, 140)
+	sources := []int{0, 10, 20, 30}
+	oracle, err := NewOracle(g, sources, testOptions(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // repeated touches must not evict
+		for _, s := range sources {
+			if oracle.Result(s) == nil {
+				t.Fatalf("Result(%d) = nil", s)
+			}
+		}
+	}
+	if got := oracle.CachedSources(); got != len(sources) {
+		t.Fatalf("cache holds %d sources, want %d", got, len(sources))
+	}
+}
