@@ -41,6 +41,40 @@ func TestMultiSourceDeterminismAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestMultiSourceDeterminismSkewedWorkload is the work-stealing
+// determinism proof: a path+star mix gives some sources Θ(n)-deep
+// canonical paths and others depth-1 star hops, so per-item work in
+// every sharded stage differs by orders of magnitude and idle workers
+// must steal. Output must still be bit-identical at every worker count
+// (CI runs this under -race, so it doubles as the data-race proof for
+// the stealing scheduler and the sharded seed-table build).
+func TestMultiSourceDeterminismSkewedWorkload(t *testing.T) {
+	g := GeneratePathStarMix(21, 110, 36, 30)
+	// Heavy path-tail sources, light star-leaf sources, interleaved so
+	// contiguous initial ranges mix both kinds.
+	sources := []int{109, 110, 82, 118, 55, 126, 27, 134}
+
+	var baseline []*Result
+	for _, workers := range determinismWorkerCounts {
+		opts := testOptions(22)
+		opts.Parallelism = workers
+		results, err := MultiSource(g, sources, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = results
+			continue
+		}
+		for i := range results {
+			if d := rp.Diff(resultOf(baseline[i]), resultOf(results[i])); d != "" {
+				t.Fatalf("Parallelism=%d: source %d differs from sequential: %s",
+					workers, sources[i], d)
+			}
+		}
+	}
+}
+
 func TestSingleSourceDeterminismAcrossParallelism(t *testing.T) {
 	g := GenerateRandomConnected(8, 90, 260)
 	var baseline *Result

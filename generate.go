@@ -41,6 +41,15 @@ func GeneratePathWithChords(seed uint64, n, chords int) *Graph {
 	return &Graph{g: graph.PathWithChords(xrand.New(seed), n, chords)}
 }
 
+// GeneratePathStarMix returns the chorded path on pathN vertices whose
+// head doubles as the hub of a star with `leaves` extra leaves. Sources
+// placed deep on the path and on leaves see wildly different amounts of
+// replacement-path work, making this the reference family for skewed
+// parallel workloads (bench experiment E13).
+func GeneratePathStarMix(seed uint64, pathN, chords, leaves int) *Graph {
+	return &Graph{g: graph.PathStarMix(xrand.New(seed), pathN, chords, leaves)}
+}
+
 // GeneratePreferentialAttachment returns a Barabási–Albert style graph
 // (heavy-tailed degrees), n vertices with k edges per arrival.
 func GeneratePreferentialAttachment(seed uint64, n, k int) *Graph {

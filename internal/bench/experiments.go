@@ -474,9 +474,9 @@ func RunE9(w io.Writer, cfg Config) error {
 	if cfg.Quick {
 		configs = [][2]int{{300, 1}, {300, 4}}
 	}
-	t := NewTable("E9: auxiliary graph sizes",
+	t := NewTable("E9: auxiliary graph sizes + seed-table behaviour",
 		"n", "sigma", "small_nodes", "small_arcs", "sc_nodes", "sc_arcs",
-		"cl_nodes", "cl_arcs", "σn²")
+		"cl_nodes", "cl_arcs", "σn²", "seed_len", "seed_rehashes")
 	for _, c := range configs {
 		n, sigma := c[0], c[1]
 		g := graph.CycleWithChords(xrand.New(uint64(n)), n, n/20)
@@ -488,9 +488,11 @@ func RunE9(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
+		// seed_rehashes is the cuckoo cascade indicator: the presized
+		// sharded build keeps it at zero at every size.
 		t.Row(n, sigma, stats.AuxNodes, stats.AuxArcs,
 			stats.SCNodes, stats.SCArcs, stats.CLNodes, stats.CLArcs,
-			int64(sigma)*int64(n)*int64(n))
+			int64(sigma)*int64(n)*int64(n), stats.SeedCount, stats.SeedRehashes)
 	}
 	t.Print(w)
 	return nil

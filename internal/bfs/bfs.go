@@ -110,6 +110,47 @@ func (t *Tree) PathEdgesTo(v int32) []int32 {
 	return edges
 }
 
+// PathInto is PathTo writing into dst's backing array when it has the
+// capacity (allocating only when it does not). Hot loops that expand
+// Θ(σn) paths pass an engine Scratch buffer sized to the graph so the
+// whole sweep allocates nothing. Returns nil if v is unreachable.
+func (t *Tree) PathInto(dst []int32, v int32) []int32 {
+	if !t.Reachable(v) {
+		return nil
+	}
+	k := int(t.Dist[v]) + 1
+	if cap(dst) < k {
+		dst = make([]int32, k)
+	} else {
+		dst = dst[:k]
+	}
+	for i, x := k-1, v; i >= 0; i-- {
+		dst[i] = x
+		x = t.Parent[x]
+	}
+	return dst
+}
+
+// PathEdgesInto is PathEdgesTo writing into dst's backing array when it
+// has the capacity (allocating only when it does not). Returns nil if v
+// is unreachable.
+func (t *Tree) PathEdgesInto(dst []int32, v int32) []int32 {
+	if !t.Reachable(v) {
+		return nil
+	}
+	k := int(t.Dist[v])
+	if cap(dst) < k {
+		dst = make([]int32, k)
+	} else {
+		dst = dst[:k]
+	}
+	for i, x := k-1, v; i >= 0; i-- {
+		dst[i] = t.ParentEdge[x]
+		x = t.Parent[x]
+	}
+	return dst
+}
+
 // ChildEndpoint returns the endpoint of tree edge e that is farther from
 // the root (the "child" side), given the tree and the graph, along with
 // true if e is a tree edge of t. A graph edge e=(u,v) is a tree edge iff

@@ -194,3 +194,43 @@ func BenchmarkBFS(b *testing.B) {
 		_ = New(g, i%5000)
 	}
 }
+
+// TestPathIntoMatchesPathTo: the Into variants must agree with the
+// allocating ones on every vertex and reuse the caller's buffer when it
+// is large enough (the seed-table hot loop depends on both properties).
+func TestPathIntoMatchesPathTo(t *testing.T) {
+	g := graph.RandomConnected(xrand.New(5), 40, 90)
+	tr := New(g, 3)
+	pathBuf := make([]int32, g.NumVertices()+1)
+	edgeBuf := make([]int32, g.NumVertices())
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		wantP, wantE := tr.PathTo(v), tr.PathEdgesTo(v)
+		gotP := tr.PathInto(pathBuf, v)
+		gotE := tr.PathEdgesInto(edgeBuf, v)
+		if len(gotP) != len(wantP) || len(gotE) != len(wantE) {
+			t.Fatalf("v=%d: lengths (%d,%d) want (%d,%d)", v, len(gotP), len(gotE), len(wantP), len(wantE))
+		}
+		for i := range wantP {
+			if gotP[i] != wantP[i] {
+				t.Fatalf("v=%d: PathInto[%d] = %d, want %d", v, i, gotP[i], wantP[i])
+			}
+		}
+		for i := range wantE {
+			if gotE[i] != wantE[i] {
+				t.Fatalf("v=%d: PathEdgesInto[%d] = %d, want %d", v, i, gotE[i], wantE[i])
+			}
+		}
+		if len(gotP) > 0 && &gotP[0] != &pathBuf[0] {
+			t.Fatalf("v=%d: PathInto allocated despite sufficient capacity", v)
+		}
+		if len(gotE) > 0 && &gotE[0] != &edgeBuf[0] {
+			t.Fatalf("v=%d: PathEdgesInto allocated despite sufficient capacity", v)
+		}
+	}
+	// Undersized buffers must still produce correct (freshly allocated)
+	// results rather than truncating.
+	deep := tr.Order[len(tr.Order)-1]
+	if got := tr.PathInto(make([]int32, 1), deep); len(got) != int(tr.Dist[deep])+1 {
+		t.Fatalf("undersized PathInto returned %d vertices", len(got))
+	}
+}

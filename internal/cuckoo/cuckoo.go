@@ -56,12 +56,38 @@ type Table struct {
 // New returns a table pre-sized for capacityHint entries.
 func New(capacityHint int) *Table {
 	t := &Table{}
+	t.init(sizeFor(capacityHint))
+	return t
+}
+
+// sizeFor returns the smallest power-of-two per-subtable size whose
+// total capacity keeps n entries under the load bound.
+func sizeFor(n int) int {
 	size := minCapacity
-	for float64(capacityHint) > maxLoad*float64(2*size) {
+	for float64(n) > maxLoad*float64(2*size) {
 		size *= 2
 	}
-	t.init(size)
-	return t
+	return size
+}
+
+// Reserve grows the table so it can hold at least n entries without
+// any further growth rehash. Presizing is what keeps the Θ(σn)
+// seed-table build (§8.2.1) free of rehash cascades: a build that
+// knows its entry count up front pays zero rebuilds instead of
+// O(log n) doubling ones. Reserving on an empty table is a free
+// re-initialization and does not count toward Rehashes; on a populated
+// table it costs exactly one counted rebuild. Shrinking is never
+// performed.
+func (t *Table) Reserve(n int) {
+	size := sizeFor(n)
+	if t.t1 != nil && size <= len(t.t1) {
+		return
+	}
+	if t.count == 0 && !t.hasPending {
+		t.init(size)
+		return
+	}
+	t.rehash(size)
 }
 
 func (t *Table) init(size int) {

@@ -87,6 +87,76 @@ func TestDelete(t *testing.T) {
 	}
 }
 
+func TestReserveEmptyAvoidsAllRehashes(t *testing.T) {
+	const n = 100000
+	tb := New(0)
+	tb.Reserve(n)
+	if got := tb.Rehashes(); got != 0 {
+		t.Fatalf("Reserve on empty table counted %d rehashes", got)
+	}
+	for i := uint64(0); i < n; i++ {
+		tb.Put(xrand.Mix(i), int32(i))
+	}
+	// Growth rehashes are impossible after Reserve(n); only unlucky kick
+	// chains could rebuild, and at load <= maxLoad those are rare enough
+	// to assert a hard bound of a couple.
+	if got := tb.Rehashes(); got > 2 {
+		t.Fatalf("%d rehashes after Reserve(%d) + %d inserts", got, n, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tb.Get(xrand.Mix(i)); !ok || v != int32(i) {
+			t.Fatalf("key %d lost after Reserve", i)
+		}
+	}
+}
+
+func TestReservePopulatedKeepsEntries(t *testing.T) {
+	tb := New(0)
+	for i := uint64(0); i < 1000; i++ {
+		tb.Put(i, int32(i))
+	}
+	before := tb.Rehashes()
+	tb.Reserve(50000)
+	if tb.Rehashes() != before+1 {
+		t.Fatalf("Reserve on populated table counted %d rehashes, want 1", tb.Rehashes()-before)
+	}
+	if tb.Len() != 1000 {
+		t.Fatalf("Len = %d after Reserve", tb.Len())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if v, ok := tb.Get(i); !ok || v != int32(i) {
+			t.Fatalf("key %d lost by Reserve", i)
+		}
+	}
+	for i := uint64(0); i < 50000; i++ {
+		tb.Put(i, int32(i))
+	}
+	if got := tb.Rehashes(); got > before+3 {
+		t.Fatalf("%d growth rehashes after a populated Reserve", got-before-1)
+	}
+}
+
+func TestReserveNeverShrinks(t *testing.T) {
+	tb := New(1 << 16)
+	size := len(tb.t1)
+	tb.Reserve(8)
+	if len(tb.t1) != size {
+		t.Fatalf("Reserve shrank the table from %d to %d", size, len(tb.t1))
+	}
+	if tb.Rehashes() != 0 {
+		t.Fatalf("no-op Reserve counted a rehash")
+	}
+}
+
+func TestReserveZeroValue(t *testing.T) {
+	var tb Table
+	tb.Reserve(100)
+	tb.Put(1, 2)
+	if v, ok := tb.Get(1); !ok || v != 2 {
+		t.Fatalf("zero-value table broken after Reserve: %d %v", v, ok)
+	}
+}
+
 func TestAgainstMapModel(t *testing.T) {
 	rng := xrand.New(1)
 	tb := New(0)

@@ -59,6 +59,16 @@ func (p *Pool) Run(n int, fn func(i int)) {
 // the same worker share one Scratch, which is Reset between items.
 // Buffers obtained from the Scratch are valid only for the current
 // item.
+//
+// Scheduling: each worker starts with a contiguous slice of the index
+// range and drains it front-to-back in chunks; a worker that runs dry
+// steals the top half of another worker's remaining range. Stealing is
+// what keeps workers busy on skewed workloads (per-source replacement
+// path work varies wildly with suffix length) without the per-item
+// compare-and-swap cost of a shared counter. At small n the range
+// bookkeeping cannot pay for itself, so the pool falls back to the
+// plain atomic counter. The schedule never affects output: fn(i) owns
+// index i's state under either strategy.
 func (p *Pool) RunScratch(n int, fn func(i int, s *Scratch)) {
 	if n <= 0 {
 		return
@@ -76,6 +86,17 @@ func (p *Pool) RunScratch(n int, fn func(i int, s *Scratch)) {
 		p.release(s)
 		return
 	}
+	if n < stealMinPerWorker*workers || n > maxStealItems {
+		p.runCounter(n, workers, fn)
+		return
+	}
+	p.runStealing(n, workers, fn)
+}
+
+// runCounter shards items with a shared atomic counter: one CAS per
+// item, perfect balance at granularity 1. Best when n is small enough
+// that range bookkeeping would dominate.
+func (p *Pool) runCounter(n, workers int, fn func(i int, s *Scratch)) {
 	var wg sync.WaitGroup
 	var next atomic.Int64
 	wg.Add(workers)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -68,6 +69,90 @@ func TestDeterminism(t *testing.T) {
 			if got[i] != want[i] {
 				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
 			}
+		}
+	}
+}
+
+// TestForcedSteal proves the stealing path actually transfers work:
+// item 0 blocks worker 0 until every item outside worker 0's first
+// chunk has completed, so the rest of worker 0's range can only finish
+// if the other worker steals it — all of it, including the range's
+// last item (the ceil-half rounding). If stealing is broken or a tail
+// item gets stranded, the test deadlocks and the suite's timeout
+// reports it loudly.
+func TestForcedSteal(t *testing.T) {
+	const n = 1024
+	const workers = 2
+	const half = n / workers
+	// Worker 0's first pop claims exactly chunkSize(half) items, because
+	// worker 1 cannot shrink worker 0's range before then: worker 1's
+	// own first item waits for `started`, which closes inside fn(0) —
+	// after worker 0's claiming CAS.
+	stuck := chunkSize(half)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var done atomic.Int64       // completions outside worker 0's first chunk
+	exec := make([]*Scratch, n) // which worker's scratch ran each item
+	New(workers).RunScratch(n, func(i int, s *Scratch) {
+		exec[i] = s
+		switch {
+		case i == 0:
+			close(started)
+			<-release
+		case i >= half:
+			<-started
+			fallthrough
+		default:
+			if i >= stuck && done.Add(1) == int64(n-stuck) {
+				close(release)
+			}
+		}
+	})
+	// At release time every item outside [0, stuck) had completed, and
+	// worker 0 was still parked inside fn(0) — so every item of its
+	// remaining range [stuck, half) was stolen and ran on the other
+	// worker's scratch. "Every", not "some".
+	for i := stuck; i < half; i++ {
+		if exec[i] == exec[0] {
+			t.Fatalf("item %d ran on the blocked worker", i)
+		}
+	}
+}
+
+// TestStealingMatchesCounter runs the same workload through both
+// scheduling strategies (small n forces the counter, large n the
+// stealing path) and checks identical per-index output.
+func TestStealingMatchesCounter(t *testing.T) {
+	for _, n := range []int{8, 64, 1000, 4097} {
+		for _, workers := range []int{2, 3, 8} {
+			out := make([]int64, n)
+			New(workers).Run(n, func(i int) {
+				out[i] = int64(i)*3 + 1
+			})
+			for i := range out {
+				if out[i] != int64(i)*3+1 {
+					t.Fatalf("n=%d workers=%d: out[%d] = %d", n, workers, i, out[i])
+				}
+			}
+		}
+	}
+}
+
+func TestChunkSizeBounds(t *testing.T) {
+	for _, remaining := range []int{1, 2, 7, 8, 100, 1 << 20} {
+		c := chunkSize(remaining)
+		if c < 1 || c > maxStealChunk || c > remaining {
+			t.Fatalf("chunkSize(%d) = %d", remaining, c)
+		}
+	}
+}
+
+func TestRangePacking(t *testing.T) {
+	cases := [][2]int{{0, 0}, {0, 1}, {5, 9}, {0, maxStealItems}, {maxStealItems - 1, maxStealItems}}
+	for _, c := range cases {
+		lo, hi := unpackRange(packRange(c[0], c[1]))
+		if lo != c[0] || hi != c[1] {
+			t.Fatalf("pack/unpack(%d,%d) = (%d,%d)", c[0], c[1], lo, hi)
 		}
 	}
 }

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Work-stealing index scheduler. The item space [0, n) is split into
+// one contiguous range per worker, held as a packed (lo, hi) pair in a
+// single atomic word. Owners pop chunks from the front (lo side);
+// thieves take the top half from the back (hi side) of a victim's
+// range. Both transitions are CASes on the same word, so a range is
+// always partitioned exactly — no item can be claimed twice or lost.
+//
+// Termination uses a global count of unclaimed items, decremented when
+// a chunk is popped (not when it finishes): once it reaches zero every
+// item is owned by some worker's in-flight chunk, so thieves can exit
+// and the WaitGroup handles completion.
+
+const (
+	// stealMinPerWorker is the fallback threshold: below this many
+	// items per worker the plain atomic counter is cheaper than range
+	// bookkeeping (and with so few items there is nothing to steal).
+	stealMinPerWorker = 4
+
+	// maxStealChunk caps how many items an owner claims in one pop, so
+	// the bulk of a large range stays stealable even when the owner is
+	// about to stall on a heavy item.
+	maxStealChunk = 64
+
+	// maxStealItems is the packing limit: lo and hi live in 32 bits
+	// each. Larger item counts (never seen in practice — the graphs
+	// cap out far earlier) fall back to the counter.
+	maxStealItems = 1<<31 - 1
+)
+
+// wsRange is one worker's index range, padded so the CAS-hot bounds
+// words of different workers never share a cache line.
+type wsRange struct {
+	bounds atomic.Uint64 // hi<<32 | lo
+	_      [56]byte
+}
+
+func packRange(lo, hi int) uint64 { return uint64(hi)<<32 | uint64(uint32(lo)) }
+
+func unpackRange(b uint64) (lo, hi int) { return int(uint32(b)), int(b >> 32) }
+
+// chunkSize balances CAS amortization against steal granularity: an
+// owner takes an eighth of its remaining range per pop, capped at
+// maxStealChunk and floored at one, so big ranges amortize the CAS
+// while small (or nearly drained) ranges go item by item — maximum
+// balance exactly when balance starts to matter.
+func chunkSize(remaining int) int {
+	c := remaining / 8
+	if c < 1 {
+		c = 1
+	}
+	if c > maxStealChunk {
+		c = maxStealChunk
+	}
+	return c
+}
+
+// runStealing executes fn over [0, n) with the range-stealing
+// scheduler. Requires 2 <= workers <= n <= maxStealItems.
+func (p *Pool) runStealing(n, workers int, fn func(i int, s *Scratch)) {
+	ranges := make([]wsRange, workers)
+	for w := 0; w < workers; w++ {
+		ranges[w].bounds.Store(packRange(w*n/workers, (w+1)*n/workers))
+	}
+	var unclaimed atomic.Int64
+	unclaimed.Store(int64(n))
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			s := p.grab()
+			defer p.release(s)
+			self := &ranges[w].bounds
+			for {
+				// Drain the owned range chunk by chunk.
+				for {
+					b := self.Load()
+					lo, hi := unpackRange(b)
+					if lo >= hi {
+						break
+					}
+					c := chunkSize(hi - lo)
+					if !self.CompareAndSwap(b, packRange(lo+c, hi)) {
+						continue // a thief moved hi; reload
+					}
+					unclaimed.Add(-int64(c))
+					for i := lo; i < lo+c; i++ {
+						s.Reset()
+						fn(i, s)
+					}
+				}
+				if !stealRange(ranges, w, &unclaimed) {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// stealRange moves the top half (rounded up, so even a single-item
+// range is stealable) of some victim's range into worker w's slot,
+// scanning victims round-robin from w+1. It returns false once every
+// item has been claimed (nothing left to steal anywhere). Rounding up
+// matters for liveness, not just balance: rounding down would leave
+// the bottom item with the victim forever, so a worker stalled on one
+// heavy item would strand the last item of its range while every
+// other worker sat idle.
+func stealRange(ranges []wsRange, w int, unclaimed *atomic.Int64) bool {
+	for unclaimed.Load() > 0 {
+		for off := 1; off < len(ranges); off++ {
+			victim := &ranges[(w+off)%len(ranges)].bounds
+			b := victim.Load()
+			lo, hi := unpackRange(b)
+			if hi <= lo {
+				continue
+			}
+			mid := hi - (hi-lo+1)/2
+			if !victim.CompareAndSwap(b, packRange(lo, mid)) {
+				continue
+			}
+			// Only worker w writes its own slot while it is empty, and
+			// no thief touches an empty range, so a plain store is safe.
+			ranges[w].bounds.Store(packRange(mid, hi))
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}

@@ -220,6 +220,16 @@ func PathWithChords(rng *xrand.RNG, n, chords int) *Graph {
 		panic(fmt.Sprintf("graph: PathWithChords(%d,...) needs n >= 2", n))
 	}
 	b := NewBuilder(n)
+	addChordedPath(b, rng, n, chords)
+	return b.MustBuild()
+}
+
+// addChordedPath adds the path 0-1-…-(pathN-1) plus `chords` uniformly
+// random deduplicated chords among its vertices to b (whose vertex
+// count may exceed pathN). It returns the deduplicating add function so
+// callers can attach further edges without colliding with the chords.
+func addChordedPath(b *Builder, rng *xrand.RNG, pathN, chords int) func(u, v int) bool {
+	n := b.NumVertices()
 	seen := make(map[int64]struct{}, n+chords)
 	add := func(u, v int) bool {
 		if u > v {
@@ -233,16 +243,16 @@ func PathWithChords(rng *xrand.RNG, n, chords int) *Graph {
 		mustAdd(b, u, v)
 		return true
 	}
-	for i := 0; i+1 < n; i++ {
+	for i := 0; i+1 < pathN; i++ {
 		add(i, i+1)
 	}
-	maxChords := int(int64(n)*int64(n-1)/2) - (n - 1)
+	maxChords := int(int64(pathN)*int64(pathN-1)/2) - (pathN - 1)
 	if chords > maxChords {
-		panic(fmt.Sprintf("graph: PathWithChords(%d,%d) exceeds %d possible chords", n, chords, maxChords))
+		panic(fmt.Sprintf("graph: %d chords exceed the %d possible on a %d-path", chords, maxChords, pathN))
 	}
 	placed := 0
 	for placed < chords {
-		u, v := rng.Intn(n), rng.Intn(n)
+		u, v := rng.Intn(pathN), rng.Intn(pathN)
 		if u == v {
 			continue
 		}
@@ -250,7 +260,7 @@ func PathWithChords(rng *xrand.RNG, n, chords int) *Graph {
 			placed++
 		}
 	}
-	return b.MustBuild()
+	return add
 }
 
 // PreferentialAttachment returns a Barabási–Albert style graph: vertices
@@ -303,6 +313,27 @@ func Caterpillar(spineLen, legsPerSpine int) *Graph {
 			mustAdd(b, i, next)
 			next++
 		}
+	}
+	return b.MustBuild()
+}
+
+// PathStarMix returns the chorded path 0-1-…-(pathN-1) whose head
+// (vertex 0) is additionally the hub of a star with `leaves` extra
+// leaves (ids pathN … pathN+leaves-1). A source deep on the path has
+// Θ(pathN)-long canonical paths and a full complement of small
+// replacement paths feeding the §8.2.1 seed table; a source on a leaf
+// has a depth-1 entry into the same structure and almost no work of
+// its own. Mixing the two produces the maximally skewed per-source
+// workload — the family the engine's work stealing and the sharded
+// seed-table build are measured on (E13).
+func PathStarMix(rng *xrand.RNG, pathN, chords, leaves int) *Graph {
+	if pathN < 2 {
+		panic(fmt.Sprintf("graph: PathStarMix(%d,...) needs pathN >= 2", pathN))
+	}
+	b := NewBuilder(pathN + leaves)
+	add := addChordedPath(b, rng, pathN, chords)
+	for l := 0; l < leaves; l++ {
+		add(0, pathN+l)
 	}
 	return b.MustBuild()
 }

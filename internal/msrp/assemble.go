@@ -3,6 +3,7 @@ package msrp
 import (
 	"sort"
 
+	"msrp/internal/engine"
 	"msrp/internal/rp"
 	"msrp/internal/ssrp"
 )
@@ -27,17 +28,23 @@ import (
 // sweepLandmarks, which re-run the far/near candidate machinery over
 // landmark targets until the mutual recursion between landmark values
 // stabilizes.
-func assembleLenSR(ps *ssrp.PerSource, ctr *Centers, sc *sourceCenter, cl *centerLandmark) map[int32][]int32 {
+func assembleLenSR(ps *ssrp.PerSource, ctr *Centers, sc *sourceCenter, cl *centerLandmark, scr *engine.Scratch) map[int32][]int32 {
 	sh := ps.Sh
 	ts := ps.Ts
 	lenSR := make(map[int32][]int32, len(sh.List))
 
+	// Per-landmark path expansions are transient (intervalsOn and the
+	// MTC row only read them), so one scratch buffer pair serves the
+	// whole sweep.
+	n := sh.G.NumVertices()
+	pathBuf := scr.Int32(n + 1)
+	edgeBuf := scr.Int32(n)
 	for _, r := range sh.List {
 		if r == ps.S || !ts.Reachable(r) {
 			continue
 		}
-		path := ts.PathTo(r)
-		edges := ts.PathEdgesTo(r)
+		path := ts.PathInto(pathBuf, r)
+		edges := ts.PathEdgesInto(edgeBuf, r)
 		boundaries := ctr.intervalsOn(path)
 		// MTC per edge (term1 through the left center of its interval,
 		// term2 through the right one — shared with the bottleneck

@@ -116,10 +116,11 @@ func buildBottleneck(ps *ssrp.PerSource, ctr *Centers, sc *sourceCenter, cl *cen
 		lms = append(lms, lmNode{r: r, node: next})
 		next++
 	}
+	pathBuf := scr.Int32(g.NumVertices() + 1)
 	for li := range lms {
 		lm := &lms[li]
 		r := lm.r
-		path := ts.PathTo(r)
+		path := ts.PathInto(pathBuf, r) // transient; lm.edges below is retained
 		edges := ts.PathEdgesTo(r)
 		lm.edges = edges
 		boundaries := ctr.intervalsOn(path)

@@ -42,39 +42,101 @@ func checkPackable(n, m int) error {
 // The table is the paper's designated cuckoo-hash use: Θ(σn) paths may
 // produce entries and lookups must stay O(1) worst case during the
 // G_c construction (internal/cuckoo, Lemma 5).
-func buildSeedTable(perSrc []*ssrp.PerSource, ctr *Centers) *cuckoo.Table {
-	table := cuckoo.New(1 << 12)
-	for _, ps := range perSrc {
-		ts := ps.Ts
-		for _, r := range ps.Sh.List {
-			if r == ps.S || !ts.Reachable(r) {
+//
+// The build is sharded: sources are independent during enumeration, so
+// each engine item fills a private presized shard, and the shards are
+// merged into one presized table afterwards. Because the merged value
+// for a key is the minimum over all shards and min is commutative and
+// idempotent, the merged *contents* are identical for every worker
+// count and schedule; because shards are merged in source order and
+// each shard's build is deterministic, even the merged table's layout
+// is fixed. The returned rehash count (shards + merge) is the E9/E13
+// cascade observability: with presizing it stays at zero.
+func buildSeedTable(sh *ssrp.Shared, perSrc []*ssrp.PerSource, ctr *Centers) (*cuckoo.Table, int) {
+	shards := make([]*cuckoo.Table, len(perSrc))
+	sh.Pool.RunScratch(len(perSrc), func(i int, sc *engine.Scratch) {
+		shards[i] = buildSeedShard(perSrc[i], ctr, sc)
+	})
+	rehashes := 0
+	total := 0
+	for _, shard := range shards {
+		total += shard.Len()
+		rehashes += shard.Rehashes()
+	}
+	merged := cuckoo.New(total)
+	for _, shard := range shards {
+		shard.Range(func(key uint64, val int32) bool {
+			merged.MinPut(key, val)
+			return true
+		})
+	}
+	return merged, rehashes + merged.Rehashes()
+}
+
+// buildSeedShard enumerates one source's small paths into a private
+// table presized by estimateSeedEntries. The path and edge expansions
+// run through scratch buffers sized once per item, so the Θ(n) sweep
+// performs no per-path allocation.
+func buildSeedShard(ps *ssrp.PerSource, ctr *Centers, sc *engine.Scratch) *cuckoo.Table {
+	table := cuckoo.New(estimateSeedEntries(ps, ctr))
+	n := ps.Sh.G.NumVertices()
+	edgeBuf := sc.Int32(n) // canonical tree paths have < n edges
+	// Small replacement paths are walks — prefix plus near-hop tail can
+	// exceed n vertices — so give the buffer slack; PathVerticesInto
+	// falls back to allocating only beyond 2n, which no walk reaches at
+	// small-path lengths (≤ |sr| + 2X < n each for prefix and tail).
+	pathBuf := sc.Int32(2*n + 2)
+	ts := ps.Ts
+	for _, r := range ps.Sh.List {
+		if r == ps.S || !ts.Reachable(r) {
+			continue
+		}
+		l := ts.Dist[r]
+		edges := ts.PathEdgesInto(edgeBuf, r)
+		for i := ps.Small.NearStart(r); i < l; i++ {
+			if ps.Small.Value(r, int(i)) >= rp.Inf {
 				continue
 			}
-			l := ts.Dist[r]
-			edges := ts.PathEdgesTo(r)
-			for i := ps.Small.NearStart(r); i < l; i++ {
-				if ps.Small.Value(r, int(i)) >= rp.Inf {
+			path := ps.Small.PathVerticesInto(pathBuf, r, int(i))
+			if path == nil {
+				continue
+			}
+			e := edges[i]
+			last := len(path) - 1
+			for pos, w := range path {
+				if pos == last {
+					break // suffix of length 0 (c = r) is trivial
+				}
+				if !ctr.IsCenter(w) {
 					continue
 				}
-				path := ps.Small.PathVertices(r, int(i))
-				if path == nil {
-					continue
-				}
-				e := edges[i]
-				last := len(path) - 1
-				for pos, w := range path {
-					if pos == last {
-						break // suffix of length 0 (c = r) is trivial
-					}
-					if !ctr.IsCenter(w) {
-						continue
-					}
-					table.MinPut(packCRE(w, r, e), int32(last-pos))
-				}
+				table.MinPut(packCRE(w, r, e), int32(last-pos))
 			}
 		}
 	}
 	return table
+}
+
+// estimateSeedEntries predicts one source's seed-table contribution so
+// the shard can be presized (no growth-rehash cascade mid-build). Each
+// landmark r offers min(nearEdgeCap, |sr|) small paths of length at
+// most |sr| + 2X, and a vertex on such a path is a center with
+// frequency ≈ |C|/n, so the expected entries per path are its length
+// times that density. Overestimating only costs slack memory; the
+// estimate is deliberately generous.
+func estimateSeedEntries(ps *ssrp.PerSource, ctr *Centers) int {
+	n := ps.Sh.G.NumVertices()
+	density := float64(len(ctr.List)) / float64(n)
+	est := 0.0
+	for _, r := range ps.Sh.List {
+		if r == ps.S || !ps.Ts.Reachable(r) {
+			continue
+		}
+		l := float64(ps.Ts.Dist[r])
+		paths := l - float64(ps.Small.NearStart(r))
+		est += paths * (1 + density*(l+2*ps.Sh.X))
+	}
+	return int(est)
 }
 
 // centerLandmark holds the §8.2.2 output: d(c, r, e) for every center

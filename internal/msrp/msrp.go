@@ -66,6 +66,10 @@ type Stats struct {
 	CLNodes   int64
 	CLArcs    int64
 	SeedCount int
+	// SeedRehashes counts cuckoo rebuilds across the sharded §8.2.1
+	// build (shards + merge). Presizing keeps it at zero; a nonzero
+	// value in E9/E13 means a rehash cascade came back.
+	SeedRehashes int
 
 	// §8.3 auxiliary graphs (PaperBottleneck mode only).
 	BNNodes int64
@@ -126,9 +130,10 @@ func SolveShared(sh *ssrp.Shared) ([]*rp.Result, *Stats, error) {
 		stats.SCArcs += int64(scs[i].NumArcs)
 	}
 
-	// §8.2.1 seed table (aggregates over all sources), then §8.2.2.
-	seed := buildSeedTable(perSrc, ctr)
+	// §8.2.1 seed table (sharded per source, merged), then §8.2.2.
+	seed, seedRehashes := buildSeedTable(sh, perSrc, ctr)
 	stats.SeedCount = seed.Len()
+	stats.SeedRehashes = seedRehashes
 	cl := buildCenterLandmark(sh, ctr, seed)
 	stats.CLNodes = cl.NumNodes
 	stats.CLArcs = cl.NumArcs
@@ -152,7 +157,7 @@ func SolveShared(sh *ssrp.Shared) ([]*rp.Result, *Stats, error) {
 			pss[i].bnNodes = int64(bs.NumNodes)
 			pss[i].bnArcs = int64(bs.NumArcs)
 		} else {
-			ps.SetLenSR(assembleLenSR(ps, ctr, scs[i], cl))
+			ps.SetLenSR(assembleLenSR(ps, ctr, scs[i], cl, sc))
 			pss[i].sweeps, pss[i].swImp = sweepLandmarks(ps, maxSweeps)
 		}
 		results[i] = ps.Combine(&pss[i].combine)

@@ -311,7 +311,7 @@ func TestSeedTablePathsAreSound(t *testing.T) {
 		ps.BuildSmallNear()
 		perSrc = append(perSrc, ps)
 	}
-	seed := buildSeedTable(perSrc, ctr)
+	seed, _ := buildSeedTable(sh, perSrc, ctr)
 	count := 0
 	seed.Range(func(key uint64, w int32) bool {
 		c := int32(key >> (vertexBits + edgeBits))

@@ -108,3 +108,49 @@ func TestReconstructWithoutTrackingFails(t *testing.T) {
 		t.Fatal("expected error without TrackPaths")
 	}
 }
+
+// TestPathVerticesIntoMatches: the scratch-backed variant must agree
+// with PathVertices on every (target, near-edge) pair and reuse the
+// caller's buffer when it has the capacity — the §8.2.1 seed-table
+// enumeration relies on both.
+func TestPathVerticesIntoMatches(t *testing.T) {
+	g := graph.CycleWithChords(xrand.New(8), 40, 10)
+	sh, err := NewShared(g, []int32{0}, testParams(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := sh.NewPerSource(0)
+	ps.BuildSmallNear()
+	// Roomy: a small replacement walk can be longer than n−1 (it is a
+	// walk, not necessarily a simple path), just never 2n at this size.
+	buf := make([]int32, 2*g.NumVertices())
+	pairs, reused := 0, 0
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		l := ps.Ts.Dist[v]
+		for i := ps.Small.NearStart(v); i < l; i++ {
+			want := ps.Small.PathVertices(v, int(i))
+			got := ps.Small.PathVerticesInto(buf, v, int(i))
+			if (want == nil) != (got == nil) || len(want) != len(got) {
+				t.Fatalf("t=%d i=%d: len %d vs %d", v, i, len(got), len(want))
+			}
+			if want == nil {
+				continue
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("t=%d i=%d: vertex %d = %d, want %d", v, i, j, got[j], want[j])
+				}
+			}
+			pairs++
+			if &got[0] == &buf[0] {
+				reused++
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no small paths found — instance too sparse for the test")
+	}
+	if reused != pairs {
+		t.Fatalf("buffer reused on %d of %d paths", reused, pairs)
+	}
+}

@@ -182,6 +182,15 @@ func (sn *SmallNear) Value(t int32, i int) int32 {
 // small path was found. The §8.2.1 machinery enumerates these paths to
 // locate centers on them.
 func (sn *SmallNear) PathVertices(t int32, i int) []int32 {
+	return sn.PathVerticesInto(nil, t, i)
+}
+
+// PathVerticesInto is PathVertices writing into dst's backing array
+// when it has the capacity (allocating only when it does not). The
+// §8.2.1 seed-table build expands Θ(σn) of these paths; routing them
+// through one per-worker scratch buffer removes its dominant per-path
+// allocation.
+func (sn *SmallNear) PathVerticesInto(dst []int32, t int32, i int) []int32 {
 	base := sn.teBase[t]
 	if base < 0 || int32(i) < sn.startIdx[t] || int32(i) >= sn.ps.Ts.Dist[t] {
 		return nil
@@ -190,18 +199,29 @@ func (sn *SmallNear) PathVertices(t int32, i int) []int32 {
 	if sn.res.Dist[node] >= int64(rp.Inf) {
 		return nil
 	}
-	// Walk the predecessor chain: a run of [t',e] nodes, then one [v]
-	// node whose canonical prefix completes the walk.
-	var tail []int32 // collected backwards: t, t', t'', ...
-	for node >= int32(sn.n) {
-		tail = append(tail, sn.teVertex[node-int32(sn.n)])
-		node = sn.res.Parent[node]
+	// The predecessor chain is a run of [t',e] nodes ending at one [v]
+	// node whose canonical prefix completes the walk. First pass: count
+	// the tail and find the vertex node; second pass: fill in place.
+	tailLen := 0
+	v := node
+	for v >= int32(sn.n) {
+		tailLen++
+		v = sn.res.Parent[v]
 	}
-	prefix := sn.ps.Ts.PathTo(node) // node is now a vertex node [v]
-	out := make([]int32, 0, len(prefix)+len(tail))
-	out = append(out, prefix...)
-	for j := len(tail) - 1; j >= 0; j-- {
-		out = append(out, tail[j])
+	prefixLen := int(sn.ps.Ts.Dist[v]) + 1
+	total := prefixLen + tailLen
+	if cap(dst) < total {
+		dst = make([]int32, total)
+	} else {
+		dst = dst[:total]
 	}
-	return out
+	for j, x := prefixLen-1, v; j >= 0; j-- {
+		dst[j] = x
+		x = sn.ps.Ts.Parent[x]
+	}
+	for j, x := total-1, node; x >= int32(sn.n); j-- {
+		dst[j] = sn.teVertex[x-int32(sn.n)]
+		x = sn.res.Parent[x]
+	}
+	return dst
 }

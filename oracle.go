@@ -3,6 +3,8 @@ package msrp
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"msrp/internal/engine"
 	msrpcore "msrp/internal/msrp"
@@ -63,6 +65,82 @@ type Oracle struct {
 	lruHead  *lruEntry // most recently used
 	lruTail  *lruEntry // least recently used; next eviction
 	inflight map[int]*oracleCall
+
+	// Serving counters (Stats). Plain atomics so the query hot path
+	// never takes an extra lock and concurrent batches never contend on
+	// observability.
+	hits         atomic.Int64
+	misses       atomic.Int64
+	builds       atomic.Int64
+	buildNanos   atomic.Int64
+	evictions    atomic.Int64
+	batches      atomic.Int64
+	batchQueries atomic.Int64
+	warms        atomic.Int64
+}
+
+// OracleStats is a point-in-time snapshot of an Oracle's serving
+// counters. Snapshots are monotone: every field only grows over the
+// oracle's lifetime.
+type OracleStats struct {
+	// Hits and Misses count per-source cache lookups on the query path.
+	// A miss either triggers a build or joins one already in flight.
+	Hits, Misses int64
+	// Builds counts lazy per-source materializations; BuildTime is
+	// their summed wall clock (divide for the mean per-source build
+	// latency).
+	Builds    int64
+	BuildTime time.Duration
+	// Evictions counts sources dropped by the MaxCachedSources LRU.
+	Evictions int64
+	// Batches and BatchQueries describe QueryBatch traffic (divide for
+	// the mean batch size).
+	Batches, BatchQueries int64
+	// Warms counts Warm calls that ran the batch §8 pipeline.
+	Warms int64
+}
+
+// HitRate returns the fraction of cache lookups served without
+// building, or 0 before any lookup.
+func (s OracleStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// AvgBuildLatency returns the mean per-source build time, or 0 before
+// any build.
+func (s OracleStats) AvgBuildLatency() time.Duration {
+	if s.Builds == 0 {
+		return 0
+	}
+	return s.BuildTime / time.Duration(s.Builds)
+}
+
+// AvgBatchSize returns the mean QueryBatch size, or 0 before any batch.
+func (s OracleStats) AvgBatchSize() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchQueries) / float64(s.Batches)
+}
+
+// Stats snapshots the serving counters. Safe for concurrent use; the
+// fields are read individually, so a snapshot taken while queries are
+// in flight may be torn by at most the in-flight operations.
+func (o *Oracle) Stats() OracleStats {
+	return OracleStats{
+		Hits:         o.hits.Load(),
+		Misses:       o.misses.Load(),
+		Builds:       o.builds.Load(),
+		BuildTime:    time.Duration(o.buildNanos.Load()),
+		Evictions:    o.evictions.Load(),
+		Batches:      o.batches.Load(),
+		BatchQueries: o.batchQueries.Load(),
+		Warms:        o.warms.Load(),
+	}
 }
 
 type lruEntry struct {
@@ -125,6 +203,8 @@ func (o *Oracle) Query(s, t, u, v int) (int32, error) {
 // (sharded across the engine pool), each exactly once even under
 // concurrent batches. Safe for concurrent use.
 func (o *Oracle) QueryBatch(queries []Query) []Answer {
+	o.batches.Add(1)
+	o.batchQueries.Add(int64(len(queries)))
 	answers := make([]Answer, len(queries))
 
 	// Group query indices by source, keeping first-seen order.
@@ -184,6 +264,7 @@ func (o *Oracle) Warm() error {
 	if allCached {
 		return nil
 	}
+	o.warms.Add(1)
 	results, _, err := msrpcore.SolveShared(o.sh)
 	if err != nil {
 		return err
@@ -218,16 +299,19 @@ func (o *Oracle) result(s int, pool *engine.Pool) (*Result, error) {
 		o.touchLocked(e)
 		res := e.res
 		o.mu.Unlock()
+		o.hits.Add(1)
 		return res, nil
 	}
 	if c, ok := o.inflight[s]; ok {
 		o.mu.Unlock()
+		o.misses.Add(1)
 		<-c.done
 		return c.res, nil
 	}
 	c := &oracleCall{done: make(chan struct{})}
 	o.inflight[s] = c
 	o.mu.Unlock()
+	o.misses.Add(1)
 
 	built := o.build(int32(s), pool)
 
@@ -254,10 +338,14 @@ func (o *Oracle) result(s int, pool *engine.Pool) (*Result, error) {
 // classical algorithm (sharded over pool), and the per-target combine.
 // Deterministic in (graph, source set, options) alone.
 func (o *Oracle) build(s int32, pool *engine.Pool) *Result {
+	start := time.Now()
 	ps := o.sh.NewPerSource(s)
 	ps.BuildSmallNear()
 	ps.ComputeLenSRClassicPool(pool)
-	return wrapResult(o.g.g, ps.Combine(nil))
+	res := wrapResult(o.g.g, ps.Combine(nil))
+	o.builds.Add(1)
+	o.buildNanos.Add(int64(time.Since(start)))
+	return res
 }
 
 // insertLocked adds s at the LRU head and evicts beyond the bound.
@@ -278,6 +366,7 @@ func (o *Oracle) insertLocked(s int, res *Result) {
 			victim := o.lruTail
 			o.removeLocked(victim)
 			delete(o.cache, victim.s)
+			o.evictions.Add(1)
 		}
 	}
 }

@@ -96,3 +96,89 @@ func TestOracleUnboundedCacheKeepsAllSources(t *testing.T) {
 		t.Fatalf("cache holds %d sources, want %d", got, len(sources))
 	}
 }
+
+// TestOracleStats exercises every serving counter: misses and builds
+// on first touch, hits on repeat, batch accounting, warm, and LRU
+// evictions under a tight cache bound.
+func TestOracleStats(t *testing.T) {
+	g := GenerateRandomConnected(31, 60, 150)
+	sources := []int{0, 15, 30, 45}
+
+	opts := testOptions(32)
+	oracle, err := NewOracle(g, sources, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := oracle.Stats(); s != (OracleStats{}) {
+		t.Fatalf("fresh oracle has nonzero stats: %+v", s)
+	}
+
+	if _, err := oracle.Query(0, 30, 0, g.firstPathStep(t, 0, 30)); err != nil {
+		t.Fatal(err)
+	}
+	s := oracle.Stats()
+	if s.Misses != 1 || s.Builds != 1 || s.Hits != 0 {
+		t.Fatalf("after first query: %+v", s)
+	}
+	if s.BuildTime <= 0 || s.AvgBuildLatency() <= 0 {
+		t.Fatalf("build latency not recorded: %+v", s)
+	}
+
+	if _, err := oracle.Query(0, 30, 0, g.firstPathStep(t, 0, 30)); err != nil {
+		t.Fatal(err)
+	}
+	s = oracle.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("after repeat query: %+v", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", got)
+	}
+
+	queries := []Query{
+		{Source: 15, Target: 45, U: 15, V: int(oracle.Result(15).PathTo(45)[1])},
+		{Source: 15, Target: 45, U: 15, V: int(oracle.Result(15).PathTo(45)[1])},
+	}
+	oracle.QueryBatch(queries)
+	s = oracle.Stats()
+	if s.Batches != 1 || s.BatchQueries != 2 || s.AvgBatchSize() != 2 {
+		t.Fatalf("after batch: %+v", s)
+	}
+
+	if err := oracle.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	if s = oracle.Stats(); s.Warms != 1 {
+		t.Fatalf("after Warm: %+v", s)
+	}
+
+	// Tight LRU: touching all sources in turn must evict.
+	opts.MaxCachedSources = 1
+	small, err := NewOracle(g, sources, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range sources {
+		if small.Result(src) == nil {
+			t.Fatalf("Result(%d) = nil", src)
+		}
+	}
+	if s = small.Stats(); s.Evictions != int64(len(sources)-1) {
+		t.Fatalf("evictions = %d, want %d (%+v)", s.Evictions, len(sources)-1, s)
+	}
+}
+
+// firstPathStep returns the second vertex of the canonical s→t path —
+// the far endpoint of the path's first edge (test helper).
+func (g *Graph) firstPathStep(t *testing.T, s, target int) int {
+	t.Helper()
+	res, err := SingleSource(g, s, testOptions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := res.PathTo(target)
+	if len(path) < 2 {
+		t.Fatalf("no path %d→%d", s, target)
+	}
+	return int(path[1])
+}
