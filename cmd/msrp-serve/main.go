@@ -1,0 +1,164 @@
+// Command msrp-serve exposes a replacement-path Oracle over HTTP: the
+// JSON batch endpoint /v1/query, the batch-pipeline trigger /v1/warm,
+// the metrics scrape /v1/stats, and the liveness probe /healthz (see
+// internal/server for schemas and admission-control semantics).
+//
+// Usage:
+//
+//	msrp-gen -family chords -n 200 | msrp-serve -sources 0,50,100
+//	msrp-serve -graph g.msrp -auto-sources 16 -addr :8080
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/query \
+//	  -d '{"queries":[{"source":0,"target":42,"u":7,"v":42}]}'
+//
+// The process drains gracefully on SIGINT/SIGTERM: in-flight batches
+// get a shutdown window, new connections are refused immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"msrp"
+	"msrp/internal/graph"
+	"msrp/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "msrp-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		path     = flag.String("graph", "-", "graph file in msrp text format ('-' = stdin)")
+		sources  = flag.String("sources", "", "comma-separated source vertices")
+		autoSrcs = flag.Int("auto-sources", 0, "pick this many evenly spread sources (alternative to -sources)")
+		seed     = flag.Uint64("seed", 1, "rng seed")
+		boost    = flag.Float64("boost", 4, "sampling boost (1 = paper constants)")
+		par      = flag.Int("parallelism", 0, "engine workers (0 = GOMAXPROCS); output is identical for every value")
+		maxCache = flag.Int("max-cached", 0, "LRU bound on materialized per-source results (0 = unlimited)")
+		inflight = flag.Int("max-inflight", 0, "concurrent /v1/query budget (0 = derive from -max-cached, <0 = unlimited)")
+		warms    = flag.Int("max-warms", 0, "concurrent /v1/warm budget (0 = 1, <0 = unlimited)")
+		retry    = flag.Duration("retry-after", time.Second, "backoff advertised on 429 responses")
+		shutdown = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+		warmup   = flag.Bool("warm", false, "run the batch pipeline over every source before accepting traffic")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *path != "-" {
+		f, err := os.Open(*path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	ig, err := graph.Decode(in)
+	if err != nil {
+		return err
+	}
+	g := msrp.WrapGraph(ig)
+
+	srcs, err := pickSources(g, *sources, *autoSrcs)
+	if err != nil {
+		return err
+	}
+
+	opts := msrp.DefaultOptions()
+	opts.Seed = *seed
+	opts.SampleBoost = *boost
+	opts.Parallelism = *par
+	opts.MaxCachedSources = *maxCache
+
+	oracle, err := msrp.NewOracle(g, srcs, opts)
+	if err != nil {
+		return err
+	}
+	if *warmup {
+		fmt.Fprintf(os.Stderr, "msrp-serve: warming %d sources…\n", len(srcs))
+		if err := oracle.Warm(); err != nil {
+			return fmt.Errorf("warm: %w", err)
+		}
+	}
+
+	handler := server.New(oracle, server.Config{
+		MaxInFlight: *inflight,
+		MaxWarms:    *warms,
+		RetryAfter:  *retry,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		// Bounds body trickle too (no WriteTimeout: big batches may
+		// legitimately compute for longer than any fixed bound).
+		ReadTimeout: 30 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "msrp-serve: |V|=%d |E|=%d σ=%d, listening on %s\n",
+		g.NumVertices(), g.NumEdges(), len(srcs), *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "msrp-serve: %v, draining (%v grace)…\n", s, *shutdown)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdown)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// pickSources resolves the -sources / -auto-sources flags: an explicit
+// comma list wins; otherwise k evenly spread vertices.
+func pickSources(g *msrp.Graph, list string, k int) ([]int, error) {
+	if list != "" {
+		var srcs []int
+		for _, part := range strings.Split(list, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("bad source %q: %w", part, err)
+			}
+			srcs = append(srcs, v)
+		}
+		return srcs, nil
+	}
+	n := g.NumVertices()
+	if k <= 0 {
+		return nil, errors.New("need -sources or -auto-sources")
+	}
+	if k > n {
+		k = n
+	}
+	srcs := make([]int, k)
+	for i := range srcs {
+		srcs[i] = i * n / k
+	}
+	return srcs, nil
+}

@@ -1,20 +1,29 @@
-// Oracle-serve: the batched replacement-path Oracle under concurrent
-// load. Several client goroutines fire QueryBatch calls at one shared
-// Oracle; the Oracle materializes each source lazily (exactly once,
-// across all clients, via single-flight), keeps only a bounded LRU of
-// per-source results, and stays deterministic — every client sees the
-// same answers, which the demo cross-checks against a brute-force BFS.
+// Oracle-serve: the replacement-path Oracle behind its HTTP front-end
+// (internal/server) under concurrent load. The demo starts the same
+// handler cmd/msrp-serve exposes on an in-process listener, then fires
+// several HTTP clients at the JSON batch endpoint. The Oracle
+// materializes each source lazily (exactly once across all clients,
+// via single-flight), keeps only a bounded LRU of per-source results,
+// and stays deterministic — every client sees the same answers, which
+// the demo cross-checks against a brute-force BFS. At the end it
+// scrapes /v1/stats, the same snapshot a metrics collector would.
 //
 //	go run ./examples/oracle-serve
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"msrp"
+	"msrp/internal/server"
 )
 
 const (
@@ -46,17 +55,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The HTTP face: same handler as `msrp-serve`, on a loopback
+	// listener. Admission control derives its in-flight budget from the
+	// LRU bound (2×MaxCachedSources); over-budget requests get 429.
+	ts := httptest.NewServer(server.New(oracle, server.Config{}))
+	defer ts.Close()
+
 	// Each client walks its own slice of the query space: canonical
 	// paths from a source to a spread of targets, avoiding each path
 	// edge in turn.
-	queriesFor := func(client int) []msrp.Query {
-		var queries []msrp.Query
+	queriesFor := func(client int) []server.QueryItem {
+		var queries []server.QueryItem
 		s := sources[client%numSources]
 		res := oracle.Result(s) // also demonstrates lazy materialization
 		for t := (client * 37) % numVertices; len(queries) < batchSize; t = (t + 13) % numVertices {
 			path := res.PathTo(t)
 			for i := 0; i+1 < len(path) && len(queries) < batchSize; i++ {
-				queries = append(queries, msrp.Query{
+				queries = append(queries, server.QueryItem{
 					Source: s, Target: t,
 					U: int(path[i]), V: int(path[i+1]),
 				})
@@ -65,57 +80,99 @@ func main() {
 		return queries
 	}
 
-	fmt.Printf("oracle over %d sources on |V|=%d |E|=%d, LRU bound %d\n",
-		numSources, g.NumVertices(), g.NumEdges(), opts.MaxCachedSources)
+	// postBatch drives POST /v1/query exactly as a remote client would;
+	// a 429 is retried after the server-advertised backoff.
+	postBatch := func(queries []server.QueryItem) server.QueryResponse {
+		body, err := json.Marshal(server.QueryRequest{Queries: queries})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for {
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				resp.Body.Close()
+				time.Sleep(50 * time.Millisecond) // demo-sized Retry-After
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				log.Fatalf("POST /v1/query: %s", resp.Status)
+			}
+			var out server.QueryResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				log.Fatal(err)
+			}
+			resp.Body.Close()
+			return out
+		}
+	}
+
+	fmt.Printf("oracle over %d sources on |V|=%d |E|=%d, LRU bound %d, serving at %s\n",
+		numSources, g.NumVertices(), g.NumEdges(), opts.MaxCachedSources, ts.URL)
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	var served int64
-	var mu sync.Mutex
+	var served atomic.Int64
 	for c := 0; c < numClients; c++ {
 		wg.Add(1)
 		go func(client int) {
 			defer wg.Done()
 			queries := queriesFor(client)
 			for round := 0; round < rounds; round++ {
-				answers := oracle.QueryBatch(queries)
-				for i, a := range answers {
-					if a.Err != nil {
-						log.Fatalf("client %d query %d: %v", client, i, a.Err)
+				resp := postBatch(queries)
+				for i, a := range resp.Answers {
+					if a.Error != "" {
+						log.Fatalf("client %d query %d: %s", client, i, a.Error)
 					}
 				}
-				mu.Lock()
-				served += int64(len(answers))
-				mu.Unlock()
+				served.Add(int64(len(resp.Answers)))
 			}
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	fmt.Printf("%d clients served %d batched queries in %v (%.0f q/s)\n",
-		numClients, served, elapsed.Round(time.Millisecond),
-		float64(served)/elapsed.Seconds())
-	fmt.Printf("materialized sources resident: %d (bound %d)\n",
-		oracle.CachedSources(), opts.MaxCachedSources)
+	fmt.Printf("%d HTTP clients served %d batched queries in %v (%.0f q/s)\n",
+		numClients, served.Load(), elapsed.Round(time.Millisecond),
+		float64(served.Load())/elapsed.Seconds())
 
 	// Cross-check a sample against the brute-force answer: delete the
 	// avoided edge and rerun the shortest-path computation from scratch.
 	sample := queriesFor(3)[:8]
-	answers := oracle.QueryBatch(sample)
+	answers := postBatch(sample).Answers
 	fmt.Println("\nspot checks vs brute force:")
 	for i, q := range sample {
 		want := bruteForce(g, q)
+		got := answers[i].Length
+		if answers[i].NoPath {
+			got = msrp.NoPath
+		}
 		status := "ok"
-		if answers[i].Length != want {
+		if got != want {
 			status = fmt.Sprintf("MISMATCH (brute force says %s)", fmtLen(want))
 		}
 		fmt.Printf("  d(%d, %d, {%d,%d}) = %s  %s\n",
-			q.Source, q.Target, q.U, q.V, fmtLen(answers[i].Length), status)
+			q.Source, q.Target, q.U, q.V, fmtLen(got), status)
 	}
+
+	// The same snapshot a metrics scraper would take.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n/v1/stats: hitRate=%.3f builds=%d evictions=%d batches=%d rejections=%d cached=%d/%d\n",
+		stats.HitRate, stats.Builds, stats.Evictions, stats.Batches,
+		stats.Rejections, stats.CachedSources, stats.MaxCachedSources)
 }
 
 // bruteForce BFSes from q.Source with the avoided edge removed.
-func bruteForce(g *msrp.Graph, q msrp.Query) int32 {
+func bruteForce(g *msrp.Graph, q server.QueryItem) int32 {
 	n := g.NumVertices()
 	dist := make([]int32, n)
 	for i := range dist {

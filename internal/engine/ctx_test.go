@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCtxCompletesWithoutCancel: an uncancelled context behaves
+// exactly like Run — every index executes, nil error.
+func TestRunCtxCompletesWithoutCancel(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			var count atomic.Int64
+			err := New(workers).RunCtx(context.Background(), n, func(i int) {
+				count.Add(1)
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: err = %v", workers, n, err)
+			}
+			if int(count.Load()) != n {
+				t.Fatalf("workers=%d n=%d: ran %d items", workers, n, count.Load())
+			}
+		}
+	}
+}
+
+// TestRunCtxPreCancelled: a context cancelled before the call runs
+// nothing (sequential, counter, and stealing paths).
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct{ workers, n int }{
+		{1, 100},  // sequential
+		{4, 8},    // counter (n < stealMinPerWorker*workers)
+		{4, 1000}, // stealing
+	} {
+		ran := int64(0)
+		var count = &ran
+		err := New(tc.workers).RunCtx(ctx, tc.n, func(i int) {
+			atomic.AddInt64(count, 1)
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d n=%d: err = %v, want context.Canceled", tc.workers, tc.n, err)
+		}
+		if got := atomic.LoadInt64(count); got != 0 {
+			t.Fatalf("workers=%d n=%d: ran %d items on a pre-cancelled context", tc.workers, tc.n, got)
+		}
+	}
+}
+
+// TestRunCtxSequentialCancelMidRun is the deterministic promptness
+// assertion: on the sequential path, cancellation is observed before
+// every item, so cancelling inside fn(5) means exactly items 0..5 ran
+// — the cancel() has returned (the Done channel is closed) before the
+// item-6 check happens.
+func TestRunCtxSequentialCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	executed := 0
+	err := New(1).RunCtx(ctx, 100, func(i int) {
+		executed++
+		if i == 5 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if executed != 6 {
+		t.Fatalf("executed %d items, want exactly 6 (cancel inside item 5)", executed)
+	}
+}
+
+// TestRunCtxStealingCancelMidRun: on the work-stealing path a cancel
+// fired by the very first item bounds the damage to the chunks already
+// in flight — nowhere near the full index space.
+func TestRunCtxStealingCancelMidRun(t *testing.T) {
+	const n = 100_000
+	const workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	release := make(chan struct{})
+	var executed atomic.Int64
+	err := New(workers).RunCtx(ctx, n, func(i int) {
+		executed.Add(1)
+		if i == 0 {
+			// Item 0 is the front of worker 0's range and thieves take
+			// from the back, so worker 0 always runs it as its first item.
+			cancel()
+			close(release)
+			return
+		}
+		// Every other item parks until the cancel has landed, pinning
+		// each worker inside its current chunk: once released, workers
+		// finish that chunk and the canceled check stops further claims.
+		<-release
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// At most one in-flight chunk per worker ran — bounded by chunks,
+	// not by n.
+	if got := executed.Load(); got > workers*maxStealChunk {
+		t.Fatalf("executed %d of %d items after immediate cancel; want <= %d (one chunk per worker)",
+			got, n, workers*maxStealChunk)
+	}
+}
+
+// TestRunCtxCounterCancelMidRun: same bound on the counter path, where
+// cancellation is observed between single items.
+func TestRunCtxCounterCancelMidRun(t *testing.T) {
+	const n = 12 // < stealMinPerWorker*workers => counter scheduler
+	const workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	release := make(chan struct{})
+	var executed atomic.Int64
+	err := New(workers).RunCtx(ctx, n, func(i int) {
+		executed.Add(1)
+		if i == 0 {
+			cancel()
+			close(release)
+			return
+		}
+		// Everyone else parks until the cancel has landed, so no worker
+		// can claim a post-cancel item: at most `workers` items run.
+		<-release
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := executed.Load(); got > workers {
+		t.Fatalf("executed %d items, want <= %d (one in-flight item per worker)", got, workers)
+	}
+}
+
+// TestScratchGrowthGeometric asserts the arena reallocates O(log)
+// times across repeated carve-offs, not once per carve-off. Regression:
+// growth to exactly used+n re-copied every live buffer on every
+// subsequent carve-off (quadratic in total carved bytes).
+func TestScratchGrowthGeometric(t *testing.T) {
+	const carves = 4096
+	const each = 8
+	s := &Scratch{}
+	reallocs := 0
+	prevCap := len(s.i32)
+	for i := 0; i < carves; i++ {
+		s.Int32(each)
+		if c := len(s.i32); c != prevCap {
+			reallocs++
+			prevCap = c
+		}
+	}
+	// Geometric doubling from `each` to carves*each: log2(4096) + 1
+	// steps, rounded generously.
+	if reallocs > 16 {
+		t.Fatalf("Int32 arena reallocated %d times across %d carve-offs; want O(log), <= 16", reallocs, carves)
+	}
+
+	s2 := &Scratch{}
+	reallocs = 0
+	prevCap64 := len(s2.i64)
+	prevCapB := len(s2.bools)
+	for i := 0; i < carves; i++ {
+		s2.Int64(each)
+		s2.Bool(each)
+		if c := len(s2.i64); c != prevCap64 {
+			reallocs++
+			prevCap64 = c
+		}
+		if c := len(s2.bools); c != prevCapB {
+			reallocs++
+			prevCapB = c
+		}
+	}
+	if reallocs > 32 {
+		t.Fatalf("Int64+Bool arenas reallocated %d times across %d carve-offs; want O(log), <= 32", reallocs, carves)
+	}
+}
+
+// TestScratchAllocsCountsFreshArenas: the pool-level counter moves only
+// when the free list misses.
+func TestScratchAllocsCountsFreshArenas(t *testing.T) {
+	p := New(1)
+	if got := p.ScratchAllocs(); got != 0 {
+		t.Fatalf("fresh pool ScratchAllocs = %d", got)
+	}
+	p.Run(4, func(int) {})
+	if got := p.ScratchAllocs(); got != 1 {
+		t.Fatalf("after one sequential stage ScratchAllocs = %d, want 1", got)
+	}
+	for i := 0; i < 10; i++ {
+		p.Run(4, func(int) {})
+	}
+	if got := p.ScratchAllocs(); got != 1 {
+		t.Fatalf("steady state ScratchAllocs = %d, want 1 (free list must serve repeats)", got)
+	}
+}

@@ -19,6 +19,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,11 @@ type Pool struct {
 
 	mu   sync.Mutex
 	free []*Scratch
+
+	// allocs counts Scratch allocations over the pool's lifetime — the
+	// observable that lets the serving layer assert its steady state
+	// performs no scratch growth (see ScratchAllocs).
+	allocs atomic.Int64
 }
 
 // New returns a pool with the given worker bound. workers <= 0 selects
@@ -48,11 +54,50 @@ func New(workers int) *Pool {
 // Workers returns the resolved worker bound (always >= 1).
 func (p *Pool) Workers() int { return p.workers }
 
+// ScratchAllocs returns how many Scratch arenas the pool has allocated
+// over its lifetime. In steady state (same stage shapes, same
+// concurrency) the count is constant: every RunScratch grab is served
+// off the free list. Observability for tests and serving-layer
+// assertions; not part of any hot path.
+func (p *Pool) ScratchAllocs() int64 { return p.allocs.Load() }
+
+// ScratchBytes sums the backing-array footprints of the scratches
+// currently idle on the free list. Between runs every scratch is idle,
+// so the value is the pool's whole arena footprint; a value that stops
+// growing across repeated identical stages is the no-per-stage-growth
+// steady state the arenas exist for.
+func (p *Pool) ScratchBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total int64
+	for _, s := range p.free {
+		total += 4*int64(len(s.i32)) + 8*int64(len(s.i64)) + int64(len(s.bools))
+	}
+	return total
+}
+
 // Run executes fn(i) for every i in [0, n), sharded across up to
 // Workers() goroutines. fn must touch only state owned by its index.
 // Run returns after every item has completed.
 func (p *Pool) Run(n int, fn func(i int)) {
 	p.RunScratch(n, func(i int, _ *Scratch) { fn(i) })
+}
+
+// RunCtx is Run with cancellation: workers observe ctx.Done() between
+// items (counter scheduler) or chunks (stealing scheduler) and stop
+// claiming new work once the context is cancelled. Items already
+// started run to completion — fn is never interrupted mid-item — so on
+// a non-nil return some suffix of the index space simply never ran.
+// Returns ctx.Err() if the context was cancelled, nil otherwise.
+func (p *Pool) RunCtx(ctx context.Context, n int, fn func(i int)) error {
+	return p.RunScratchCtx(ctx, n, func(i int, _ *Scratch) { fn(i) })
+}
+
+// RunScratchCtx is RunScratch with the cancellation semantics of
+// RunCtx.
+func (p *Pool) RunScratchCtx(ctx context.Context, n int, fn func(i int, s *Scratch)) error {
+	p.runScratch(n, ctx.Done(), fn)
+	return ctx.Err()
 }
 
 // RunScratch is Run with a per-worker Scratch: all items executed by
@@ -70,6 +115,29 @@ func (p *Pool) Run(n int, fn func(i int)) {
 // plain atomic counter. The schedule never affects output: fn(i) owns
 // index i's state under either strategy.
 func (p *Pool) RunScratch(n int, fn func(i int, s *Scratch)) {
+	p.runScratch(n, nil, fn)
+}
+
+// canceled reports whether done is closed. A nil done channel (the
+// context-free entry points) never cancels; the non-blocking receive
+// costs one channel poll per check, paid between items or chunks —
+// never inside fn.
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// runScratch dispatches to a scheduling strategy. done, when non-nil,
+// is a cancellation signal: once closed, workers stop claiming new
+// items (the current item or chunk still completes).
+func (p *Pool) runScratch(n int, done <-chan struct{}, fn func(i int, s *Scratch)) {
 	if n <= 0 {
 		return
 	}
@@ -80,6 +148,9 @@ func (p *Pool) RunScratch(n int, fn func(i int, s *Scratch)) {
 	if workers < 2 {
 		s := p.grab()
 		for i := 0; i < n; i++ {
+			if canceled(done) {
+				break
+			}
 			s.Reset()
 			fn(i, s)
 		}
@@ -87,16 +158,16 @@ func (p *Pool) RunScratch(n int, fn func(i int, s *Scratch)) {
 		return
 	}
 	if n < stealMinPerWorker*workers || n > maxStealItems {
-		p.runCounter(n, workers, fn)
+		p.runCounter(n, workers, done, fn)
 		return
 	}
-	p.runStealing(n, workers, fn)
+	p.runStealing(n, workers, done, fn)
 }
 
 // runCounter shards items with a shared atomic counter: one CAS per
 // item, perfect balance at granularity 1. Best when n is small enough
 // that range bookkeeping would dominate.
-func (p *Pool) runCounter(n, workers int, fn func(i int, s *Scratch)) {
+func (p *Pool) runCounter(n, workers int, done <-chan struct{}, fn func(i int, s *Scratch)) {
 	var wg sync.WaitGroup
 	var next atomic.Int64
 	wg.Add(workers)
@@ -105,7 +176,7 @@ func (p *Pool) runCounter(n, workers int, fn func(i int, s *Scratch)) {
 			defer wg.Done()
 			s := p.grab()
 			defer p.release(s)
-			for {
+			for !canceled(done) {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -127,6 +198,7 @@ func (p *Pool) grab() *Scratch {
 		p.free = p.free[:k-1]
 		return s
 	}
+	p.allocs.Add(1)
 	return &Scratch{}
 }
 
@@ -163,10 +235,23 @@ func (s *Scratch) Reset() {
 	s.i32Used, s.i64Used, s.bUsed = 0, 0, 0
 }
 
+// grownCap returns the backing-array capacity for a carve-off that
+// needs `need` elements when the current capacity is `have`: at least
+// double, so a sequence of carve-offs reallocates O(log total) times
+// rather than once per carve-off (growing to exactly `need` made every
+// subsequent carve-off re-copy all live buffers — quadratic).
+func grownCap(have, need int) int {
+	c := 2 * have
+	if c < need {
+		c = need
+	}
+	return c
+}
+
 // Int32 returns an uninitialized length-n buffer valid until Reset.
 func (s *Scratch) Int32(n int) []int32 {
 	if s.i32Used+n > len(s.i32) {
-		grown := make([]int32, s.i32Used+n)
+		grown := make([]int32, grownCap(len(s.i32), s.i32Used+n))
 		// Earlier buffers from this arena are still live; keep them.
 		copy(grown, s.i32[:s.i32Used])
 		s.i32 = grown
@@ -179,7 +264,7 @@ func (s *Scratch) Int32(n int) []int32 {
 // Int64 returns an uninitialized length-n buffer valid until Reset.
 func (s *Scratch) Int64(n int) []int64 {
 	if s.i64Used+n > len(s.i64) {
-		grown := make([]int64, s.i64Used+n)
+		grown := make([]int64, grownCap(len(s.i64), s.i64Used+n))
 		copy(grown, s.i64[:s.i64Used])
 		s.i64 = grown
 	}
@@ -191,7 +276,7 @@ func (s *Scratch) Int64(n int) []int64 {
 // Bool returns an uninitialized length-n buffer valid until Reset.
 func (s *Scratch) Bool(n int) []bool {
 	if s.bUsed+n > len(s.bools) {
-		grown := make([]bool, s.bUsed+n)
+		grown := make([]bool, grownCap(len(s.bools), s.bUsed+n))
 		copy(grown, s.bools[:s.bUsed])
 		s.bools = grown
 	}

@@ -63,8 +63,10 @@ func chunkSize(remaining int) int {
 }
 
 // runStealing executes fn over [0, n) with the range-stealing
-// scheduler. Requires 2 <= workers <= n <= maxStealItems.
-func (p *Pool) runStealing(n, workers int, fn func(i int, s *Scratch)) {
+// scheduler. Requires 2 <= workers <= n <= maxStealItems. A close of
+// done stops workers from claiming further chunks: the chunk in flight
+// completes, everything still unclaimed never runs.
+func (p *Pool) runStealing(n, workers int, done <-chan struct{}, fn func(i int, s *Scratch)) {
 	ranges := make([]wsRange, workers)
 	for w := 0; w < workers; w++ {
 		ranges[w].bounds.Store(packRange(w*n/workers, (w+1)*n/workers))
@@ -83,6 +85,9 @@ func (p *Pool) runStealing(n, workers int, fn func(i int, s *Scratch)) {
 			for {
 				// Drain the owned range chunk by chunk.
 				for {
+					if canceled(done) {
+						return
+					}
 					b := self.Load()
 					lo, hi := unpackRange(b)
 					if lo >= hi {
@@ -98,7 +103,7 @@ func (p *Pool) runStealing(n, workers int, fn func(i int, s *Scratch)) {
 						fn(i, s)
 					}
 				}
-				if !stealRange(ranges, w, &unclaimed) {
+				if !stealRange(ranges, w, &unclaimed, done) {
 					return
 				}
 			}
@@ -115,8 +120,11 @@ func (p *Pool) runStealing(n, workers int, fn func(i int, s *Scratch)) {
 // the bottom item with the victim forever, so a worker stalled on one
 // heavy item would strand the last item of its range while every
 // other worker sat idle.
-func stealRange(ranges []wsRange, w int, unclaimed *atomic.Int64) bool {
+func stealRange(ranges []wsRange, w int, unclaimed *atomic.Int64, done <-chan struct{}) bool {
 	for unclaimed.Load() > 0 {
+		if canceled(done) {
+			return false
+		}
 		for off := 1; off < len(ranges); off++ {
 			victim := &ranges[(w+off)%len(ranges)].bounds
 			b := victim.Load()

@@ -33,6 +33,8 @@
 package msrp
 
 import (
+	"context"
+
 	"msrp/internal/engine"
 	"msrp/internal/graph"
 	"msrp/internal/rp"
@@ -98,8 +100,22 @@ func Solve(g *graph.Graph, sources []int32, p Params) ([]*rp.Result, *Stats, err
 // not pay the Õ(m√(nσ)) landmark stage twice. Deterministic in the
 // Shared alone: repeated calls return bit-identical results.
 func SolveShared(sh *ssrp.Shared) ([]*rp.Result, *Stats, error) {
+	return SolveSharedContext(context.Background(), sh)
+}
+
+// SolveSharedContext is SolveShared with cancellation: the per-source
+// stages observe ctx between items (via the engine's context-aware
+// scheduler) and the pipeline checks ctx between stages, so a cancelled
+// solve returns promptly — bounded by the stage items already in
+// flight, not by the full σ-source run. A cancelled solve mutates no
+// state reachable from sh (the center-family RNG derivation is
+// idempotent), so retrying on the same Shared stays bit-identical.
+func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) ([]*rp.Result, *Stats, error) {
 	g, sources, p := sh.G, sh.Sources, sh.Params
 	if err := checkPackable(g.NumVertices(), g.NumEdges()); err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	stats := &Stats{Stats: *sh.NewStats()}
@@ -117,12 +133,14 @@ func SolveShared(sh *ssrp.Shared) ([]*rp.Result, *Stats, error) {
 	// item (and, via the pool free list, into the later stages).
 	perSrc := make([]*ssrp.PerSource, len(sources))
 	scs := make([]*sourceCenter, len(sources))
-	sh.Pool.RunScratch(len(sources), func(i int, sc *engine.Scratch) {
+	if err := sh.Pool.RunScratchCtx(ctx, len(sources), func(i int, sc *engine.Scratch) {
 		ps := sh.NewPerSource(sources[i])
 		ps.BuildSmallNearScratch(sc)
 		perSrc[i] = ps
 		scs[i] = buildSourceCenter(ps, ctr, sc)
-	})
+	}); err != nil {
+		return nil, nil, err
+	}
 	for i := range perSrc {
 		stats.AuxNodes += int64(perSrc[i].Small.NumNodes)
 		stats.AuxArcs += int64(perSrc[i].Small.NumArcs)
@@ -131,12 +149,19 @@ func SolveShared(sh *ssrp.Shared) ([]*rp.Result, *Stats, error) {
 	}
 
 	// §8.2.1 seed table (sharded per source, merged), then §8.2.2.
+	// Both stages run whole; ctx is re-checked between them.
 	seed, seedRehashes := buildSeedTable(sh, perSrc, ctr)
 	stats.SeedCount = seed.Len()
 	stats.SeedRehashes = seedRehashes
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	cl := buildCenterLandmark(sh, ctr, seed)
 	stats.CLNodes = cl.NumNodes
 	stats.CLArcs = cl.NumArcs
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	// Assembly + sweeps + final combine: independent per source again,
 	// with per-source counters merged afterwards.
@@ -149,7 +174,7 @@ func SolveShared(sh *ssrp.Shared) ([]*rp.Result, *Stats, error) {
 		bnArcs  int64
 	}
 	pss := make([]perSourceStats, len(perSrc))
-	sh.Pool.RunScratch(len(perSrc), func(i int, sc *engine.Scratch) {
+	if err := sh.Pool.RunScratchCtx(ctx, len(perSrc), func(i int, sc *engine.Scratch) {
 		ps := perSrc[i]
 		if p.PaperBottleneck {
 			lenSR, bs := assembleLenSRBottleneck(ps, ctr, scs[i], cl, sc)
@@ -161,7 +186,9 @@ func SolveShared(sh *ssrp.Shared) ([]*rp.Result, *Stats, error) {
 			pss[i].sweeps, pss[i].swImp = sweepLandmarks(ps, maxSweeps)
 		}
 		results[i] = ps.Combine(&pss[i].combine)
-	})
+	}); err != nil {
+		return nil, nil, err
+	}
 	for i := range pss {
 		stats.BNNodes += pss[i].bnNodes
 		stats.BNArcs += pss[i].bnArcs

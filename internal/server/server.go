@@ -1,0 +1,322 @@
+// Package server is the HTTP serving front-end over msrp.Oracle: a
+// JSON batch endpoint backed by Oracle.QueryBatchContext, a warm
+// endpoint over the §8 batch pipeline, a stats scrape, and a health
+// probe. It is the network face the ROADMAP's "production-scale
+// server" north star asks for.
+//
+// Endpoints:
+//
+//	POST /v1/query   {"queries":[{"source":s,"target":t,"u":u,"v":v},…]}
+//	                 → {"answers":[{"length":l,"noPath":…,"error":…},…]}
+//	POST /v1/warm    run the Theorem 1 batch pipeline over every source
+//	GET  /v1/stats   Oracle.Stats() + derived rates as JSON
+//	GET  /healthz    liveness probe
+//
+// Admission control: at most Config.MaxInFlight /v1/query requests and
+// Config.MaxWarms /v1/warm pipelines run at once; excess requests get
+// 429 with a Retry-After header (never queued — the caller owns the
+// backoff), counted in Oracle.Stats().Rejections. The request context
+// is plumbed into the oracle, so a client that disconnects or times
+// out cancels its batch between per-source builds and frees the slot
+// promptly, with the cache left consistent for the next caller.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"msrp"
+)
+
+// Config tunes the front-end's admission control. The zero value
+// derives sensible bounds from the oracle (see the field docs).
+type Config struct {
+	// MaxInFlight bounds concurrently served /v1/query requests — the
+	// in-flight query budget. 0 derives the bound from the oracle's
+	// options: 2×MaxCachedSources when the LRU is bounded (admission
+	// then tracks what was sized to fit in memory, per the σ·n² concern
+	// in the ROADMAP), else 4×GOMAXPROCS. Negative disables the bound.
+	MaxInFlight int
+
+	// MaxWarms bounds concurrent /v1/warm pipeline runs. Each warm is a
+	// σn² build, so the default (0) allows exactly 1; the Oracle
+	// single-flights concurrent warms anyway, and rejecting instead of
+	// queueing keeps the probe endpoints responsive. Negative disables
+	// the bound.
+	MaxWarms int
+
+	// RetryAfter is the backoff advertised in the Retry-After header of
+	// 429 responses. 0 means 1 second.
+	RetryAfter time.Duration
+
+	// MaxBodyBytes caps the /v1/query request body (http.MaxBytesReader).
+	// 0 means 8 MiB; negative disables the cap.
+	MaxBodyBytes int64
+}
+
+// Server is an http.Handler serving one Oracle. Construct with New.
+type Server struct {
+	oracle *msrp.Oracle
+	mux    *http.ServeMux
+
+	retryAfter string        // preformatted Retry-After header value
+	maxBody    int64         // /v1/query body cap (0 = uncapped)
+	queries    chan struct{} // in-flight /v1/query slots (nil = unbounded)
+	warms      chan struct{} // in-flight /v1/warm slots (nil = unbounded)
+}
+
+// New wraps the oracle in an HTTP front-end with the given admission
+// configuration.
+func New(o *msrp.Oracle, cfg Config) *Server {
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight == 0 {
+		if max := o.Options().MaxCachedSources; max > 0 {
+			maxInFlight = 2 * max
+		} else {
+			maxInFlight = 4 * runtime.GOMAXPROCS(0)
+		}
+	}
+	maxWarms := cfg.MaxWarms
+	if maxWarms == 0 {
+		maxWarms = 1
+	}
+	retryAfter := cfg.RetryAfter
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = 8 << 20
+	} else if maxBody < 0 {
+		maxBody = 0
+	}
+	s := &Server{
+		oracle:     o,
+		mux:        http.NewServeMux(),
+		retryAfter: fmt.Sprintf("%d", int((retryAfter+time.Second-1)/time.Second)),
+		maxBody:    maxBody,
+	}
+	if maxInFlight > 0 {
+		s.queries = make(chan struct{}, maxInFlight)
+	}
+	if maxWarms > 0 {
+		s.warms = make(chan struct{}, maxWarms)
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/warm", s.handleWarm)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// acquire takes one slot off sem without blocking. A nil sem is
+// unbounded. The returned release func is nil when the slot was not
+// granted.
+func acquire(sem chan struct{}) (release func(), ok bool) {
+	if sem == nil {
+		return func() {}, true
+	}
+	select {
+	case sem <- struct{}{}:
+		return func() { <-sem }, true
+	default:
+		return nil, false
+	}
+}
+
+// reject emits a 429 with the configured Retry-After and records the
+// rejection on the oracle's stats.
+func (s *Server) reject(w http.ResponseWriter, what string) {
+	s.oracle.RecordRejection()
+	w.Header().Set("Retry-After", s.retryAfter)
+	writeJSON(w, http.StatusTooManyRequests, map[string]string{
+		"error": what + " capacity exhausted; retry later",
+	})
+}
+
+// QueryItem is one replacement-path question on the wire: the length
+// of the shortest source→target path avoiding the edge {u, v}.
+type QueryItem struct {
+	Source int `json:"source"`
+	Target int `json:"target"`
+	U      int `json:"u"`
+	V      int `json:"v"`
+}
+
+// QueryRequest is the /v1/query request body.
+type QueryRequest struct {
+	Queries []QueryItem `json:"queries"`
+}
+
+// AnswerItem is one answer on the wire. NoPath marks the avoided edge
+// as a bridge (Length is then meaningless); Error marks a malformed
+// query (unknown source, missing edge, edge off the canonical path).
+type AnswerItem struct {
+	Length int32  `json:"length"`
+	NoPath bool   `json:"noPath,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// QueryResponse is the /v1/query response body. Answers align with the
+// request's queries by index. Error is set on request-level failures
+// (bad source, cancelled batch) alongside the appropriate status code.
+type QueryResponse struct {
+	Answers []AnswerItem `json:"answers,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Read the body before taking an admission slot: a client trickling
+	// (or streaming gigabytes of) request body must not pin the
+	// in-flight budget while it does so. The cap bounds memory; the
+	// slot is held only for the compute.
+	if s.maxBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, QueryResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+
+	release, ok := acquire(s.queries)
+	if !ok {
+		s.reject(w, "query")
+		return
+	}
+	defer release()
+
+	queries := make([]msrp.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		queries[i] = msrp.Query{Source: q.Source, Target: q.Target, U: q.U, V: q.V}
+	}
+	answers, err := s.oracle.QueryBatchContext(r.Context(), queries)
+	if err != nil {
+		// Only the request context cancels a batch: the client timed out
+		// or disconnected. 503 tells any intermediary the work was shed.
+		writeJSON(w, http.StatusServiceUnavailable, QueryResponse{Error: "batch cancelled: " + err.Error()})
+		return
+	}
+
+	resp := QueryResponse{Answers: make([]AnswerItem, len(answers))}
+	status := http.StatusOK
+	for i, a := range answers {
+		switch {
+		case a.Err != nil:
+			resp.Answers[i].Error = a.Err.Error()
+			// The sentinel (not string matching) decides the status: a
+			// query for a vertex outside the oracle's source set is a
+			// client error, not an empty result.
+			if errors.Is(a.Err, msrp.ErrNotSource) {
+				status = http.StatusBadRequest
+				if resp.Error == "" {
+					resp.Error = a.Err.Error()
+				}
+			}
+		case a.Length == msrp.NoPath:
+			resp.Answers[i].NoPath = true
+		default:
+			resp.Answers[i].Length = a.Length
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+// WarmResponse is the /v1/warm response body.
+type WarmResponse struct {
+	CachedSources int    `json:"cachedSources"`
+	Error         string `json:"error,omitempty"`
+}
+
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	release, ok := acquire(s.warms)
+	if !ok {
+		s.reject(w, "warm")
+		return
+	}
+	defer release()
+
+	if err := s.oracle.WarmContext(r.Context()); err != nil {
+		status := http.StatusInternalServerError
+		if r.Context().Err() != nil {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, WarmResponse{
+			CachedSources: s.oracle.CachedSources(),
+			Error:         err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, WarmResponse{CachedSources: s.oracle.CachedSources()})
+}
+
+// StatsResponse is the /v1/stats response body: the Oracle's counters
+// plus the derived rates, shaped for a metrics scraper.
+type StatsResponse struct {
+	Hits             int64   `json:"hits"`
+	Misses           int64   `json:"misses"`
+	HitRate          float64 `json:"hitRate"`
+	Builds           int64   `json:"builds"`
+	BuildTimeMillis  int64   `json:"buildTimeMillis"`
+	AvgBuildMillis   float64 `json:"avgBuildMillis"`
+	Evictions        int64   `json:"evictions"`
+	Batches          int64   `json:"batches"`
+	BatchQueries     int64   `json:"batchQueries"`
+	AvgBatchSize     float64 `json:"avgBatchSize"`
+	Warms            int64   `json:"warms"`
+	Rejections       int64   `json:"rejections"`
+	Cancellations    int64   `json:"cancellations"`
+	CachedSources    int     `json:"cachedSources"`
+	Sources          int     `json:"sources"`
+	MaxCachedSources int     `json:"maxCachedSources"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.oracle.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Hits:             st.Hits,
+		Misses:           st.Misses,
+		HitRate:          st.HitRate(),
+		Builds:           st.Builds,
+		BuildTimeMillis:  st.BuildTime.Milliseconds(),
+		AvgBuildMillis:   float64(st.AvgBuildLatency().Microseconds()) / 1000,
+		Evictions:        st.Evictions,
+		Batches:          st.Batches,
+		BatchQueries:     st.BatchQueries,
+		AvgBatchSize:     st.AvgBatchSize(),
+		Warms:            st.Warms,
+		Rejections:       st.Rejections,
+		Cancellations:    st.Cancellations,
+		CachedSources:    s.oracle.CachedSources(),
+		Sources:          len(s.oracle.Sources()),
+		MaxCachedSources: s.oracle.Options().MaxCachedSources,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // client gone; nothing useful to do
+}

@@ -1,0 +1,375 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"msrp"
+)
+
+// newTestServer builds a small oracle plus front-end. Returns the
+// oracle too so tests can cross-check against the in-process API.
+func newTestServer(t *testing.T, cfg Config) (*Server, *msrp.Oracle, []int) {
+	t.Helper()
+	g := msrp.GenerateRandomConnected(7, 60, 160)
+	sources := []int{0, 15, 30, 45}
+	opts := msrp.DefaultOptions()
+	opts.SampleBoost = 8
+	opts.Parallelism = 2
+	opts.MaxCachedSources = 2
+	oracle, err := msrp.NewOracle(g, sources, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(oracle, cfg), oracle, sources
+}
+
+// validQueries builds a batch of well-formed queries: each source's
+// canonical path to a target, avoiding the first path edge.
+func validQueries(t *testing.T, oracle *msrp.Oracle, sources []int) []QueryItem {
+	t.Helper()
+	var items []QueryItem
+	for _, s := range sources {
+		res := oracle.Result(s)
+		if res == nil {
+			t.Fatalf("Result(%d) = nil", s)
+		}
+		for target := 0; target < 60; target++ {
+			path := res.PathTo(target)
+			if len(path) < 2 {
+				continue
+			}
+			items = append(items, QueryItem{
+				Source: s, Target: target,
+				U: int(path[0]), V: int(path[1]),
+			})
+			break
+		}
+	}
+	if len(items) == 0 {
+		t.Fatal("no valid queries found")
+	}
+	return items
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestQueryEndpointMatchesInProcessBatch(t *testing.T) {
+	srv, oracle, sources := newTestServer(t, Config{})
+	items := validQueries(t, oracle, sources)
+
+	rec := postJSON(t, srv, "/v1/query", QueryRequest{Queries: items})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != len(items) {
+		t.Fatalf("got %d answers for %d queries", len(resp.Answers), len(items))
+	}
+
+	queries := make([]msrp.Query, len(items))
+	for i, q := range items {
+		queries[i] = msrp.Query{Source: q.Source, Target: q.Target, U: q.U, V: q.V}
+	}
+	want := oracle.QueryBatch(queries)
+	for i, a := range resp.Answers {
+		if a.Error != "" {
+			t.Fatalf("answer %d error: %s", i, a.Error)
+		}
+		if want[i].Err != nil {
+			t.Fatalf("in-process answer %d error: %v", i, want[i].Err)
+		}
+		if wantNoPath := want[i].Length == msrp.NoPath; a.NoPath != wantNoPath {
+			t.Fatalf("answer %d noPath = %v, want %v", i, a.NoPath, wantNoPath)
+		}
+		if !a.NoPath && a.Length != want[i].Length {
+			t.Fatalf("answer %d length = %d, want %d", i, a.Length, want[i].Length)
+		}
+	}
+}
+
+func TestQueryEndpointBadJSON(t *testing.T) {
+	srv, _, _ := newTestServer(t, Config{})
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader("{not json"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+}
+
+// TestQueryEndpointUnknownSource: the ErrNotSource sentinel — not
+// string matching — must map an out-of-set source to a 400 while the
+// rest of the batch is still answered.
+func TestQueryEndpointUnknownSource(t *testing.T) {
+	srv, oracle, sources := newTestServer(t, Config{})
+	items := validQueries(t, oracle, sources)
+	bad := append([]QueryItem{{Source: 59, Target: 0, U: 0, V: 1}}, items...)
+
+	rec := postJSON(t, srv, "/v1/query", QueryRequest{Queries: bad})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", rec.Code, rec.Body)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != len(bad) {
+		t.Fatalf("got %d answers for %d queries", len(resp.Answers), len(bad))
+	}
+	if resp.Answers[0].Error == "" || resp.Error == "" {
+		t.Fatalf("unknown source not reported: %+v", resp)
+	}
+	for i := 1; i < len(resp.Answers); i++ {
+		if resp.Answers[i].Error != "" {
+			t.Fatalf("valid query %d got error %q", i, resp.Answers[i].Error)
+		}
+	}
+}
+
+// TestQueryEndpointBodyTooLarge: an oversized body is refused with 413
+// before it can occupy an admission slot or memory.
+func TestQueryEndpointBodyTooLarge(t *testing.T) {
+	srv, _, _ := newTestServer(t, Config{MaxBodyBytes: 128})
+	big := `{"queries":[` + strings.Repeat(`{"source":0,"target":1,"u":0,"v":1},`, 100) +
+		`{"source":0,"target":1,"u":0,"v":1}]}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(big))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", rec.Code)
+	}
+}
+
+// TestQueryAdmissionNotPinnedByBody: the admission slot is taken after
+// the body is read, so a request parked in body transfer does not
+// count against the in-flight budget (a trickling client cannot starve
+// real traffic).
+func TestQueryAdmissionNotPinnedByBody(t *testing.T) {
+	srv, oracle, sources := newTestServer(t, Config{MaxInFlight: 1})
+	// A reader that never delivers a complete body: the handler sits in
+	// json.Decode — before acquire — while we drive real traffic.
+	blocked := make(chan struct{})
+	go func() {
+		defer close(blocked)
+		req := httptest.NewRequest(http.MethodPost, "/v1/query", neverEOFReader{})
+		srv.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	items := validQueries(t, oracle, sources)
+	if rec := postJSON(t, srv, "/v1/query", QueryRequest{Queries: items}); rec.Code != http.StatusOK {
+		t.Fatalf("request behind a body-trickling client: status = %d, want 200", rec.Code)
+	}
+	select {
+	case <-blocked:
+		t.Fatal("trickling request finished unexpectedly")
+	default:
+	}
+}
+
+// neverEOFReader yields whitespace forever: json.Decode keeps reading
+// and the request never completes (MaxBytesReader eventually caps it,
+// but not before the concurrent assertion has run).
+type neverEOFReader struct{}
+
+func (neverEOFReader) Read(p []byte) (int, error) {
+	time.Sleep(time.Millisecond)
+	if len(p) == 0 {
+		return 0, nil
+	}
+	p[0] = ' '
+	return 1, nil
+}
+
+func TestQueryEndpointMethodNotAllowed(t *testing.T) {
+	srv, _, _ := newTestServer(t, Config{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/query", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", rec.Code)
+	}
+}
+
+// TestAdmissionControl429: with every in-flight slot taken, a query is
+// rejected with 429 + Retry-After and counted on the oracle's stats.
+func TestAdmissionControl429(t *testing.T) {
+	srv, oracle, sources := newTestServer(t, Config{MaxInFlight: 2, RetryAfter: 7 * time.Second})
+	for i := 0; i < cap(srv.queries); i++ {
+		srv.queries <- struct{}{} // occupy every slot
+	}
+	items := validQueries(t, oracle, sources)
+	rec := postJSON(t, srv, "/v1/query", QueryRequest{Queries: items})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want \"7\"", got)
+	}
+	if got := oracle.Stats().Rejections; got != 1 {
+		t.Fatalf("Rejections = %d, want 1", got)
+	}
+
+	// Slots released → the same request is admitted again.
+	for i := 0; i < cap(srv.queries); i++ {
+		<-srv.queries
+	}
+	if rec := postJSON(t, srv, "/v1/query", QueryRequest{Queries: items}); rec.Code != http.StatusOK {
+		t.Fatalf("after release: status = %d", rec.Code)
+	}
+}
+
+func TestWarmEndpoint(t *testing.T) {
+	srv, oracle, sources := newTestServer(t, Config{})
+	rec := postJSON(t, srv, "/v1/warm", struct{}{})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp WarmResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// The LRU bound (2) caps what warm can leave resident.
+	if max := oracle.Options().MaxCachedSources; resp.CachedSources != max {
+		t.Fatalf("cachedSources = %d, want %d", resp.CachedSources, max)
+	}
+	if got := oracle.Stats().Warms; got != 1 {
+		t.Fatalf("Warms = %d, want 1", got)
+	}
+	_ = sources
+}
+
+func TestWarmEndpointBusy429(t *testing.T) {
+	srv, oracle, _ := newTestServer(t, Config{})
+	srv.warms <- struct{}{} // a warm pipeline is "running"
+	rec := postJSON(t, srv, "/v1/warm", struct{}{})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if got := oracle.Stats().Rejections; got != 1 {
+		t.Fatalf("Rejections = %d, want 1", got)
+	}
+}
+
+// TestQueryEndpointCancelledContext: a dead client context sheds the
+// batch with 503 and shows up in the cancellation counter.
+func TestQueryEndpointCancelledContext(t *testing.T) {
+	srv, oracle, sources := newTestServer(t, Config{})
+	items := validQueries(t, oracle, sources)
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(QueryRequest{Queries: items}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", &buf).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %s", rec.Code, rec.Body)
+	}
+	if got := oracle.Stats().Cancellations; got < 1 {
+		t.Fatalf("Cancellations = %d, want >= 1", got)
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	srv, oracle, sources := newTestServer(t, Config{})
+	items := validQueries(t, oracle, sources)
+	if rec := postJSON(t, srv, "/v1/query", QueryRequest{Queries: items}); rec.Code != http.StatusOK {
+		t.Fatalf("query status = %d", rec.Code)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batches < 1 || stats.BatchQueries < int64(len(items)) || stats.Sources != len(sources) {
+		t.Fatalf("implausible stats: %+v", stats)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.HasPrefix(rec.Body.String(), "ok") {
+		t.Fatalf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestDerivedInFlightBudget: the zero config derives the query budget
+// from MaxCachedSources (2×), the σ·n²-fits-in-memory proxy.
+func TestDerivedInFlightBudget(t *testing.T) {
+	srv, oracle, _ := newTestServer(t, Config{})
+	want := 2 * oracle.Options().MaxCachedSources
+	if got := cap(srv.queries); got != want {
+		t.Fatalf("derived in-flight budget = %d, want %d", got, want)
+	}
+	if cap(srv.warms) != 1 {
+		t.Fatalf("derived warm budget = %d, want 1", cap(srv.warms))
+	}
+}
+
+// TestEndToEndOverTCP drives a real listener (httptest.Server) the way
+// cmd/msrp-serve serves one, as a socket-level smoke of the handler
+// wiring.
+func TestEndToEndOverTCP(t *testing.T) {
+	srv, oracle, sources := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	items := validQueries(t, oracle, sources)
+	body, _ := json.Marshal(QueryRequest{Queries: items})
+	resp, err = http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Answers) != len(items) {
+		t.Fatalf("got %d answers for %d queries", len(qr.Answers), len(items))
+	}
+	for i, a := range qr.Answers {
+		if a.Error != "" {
+			t.Fatalf("answer %d: %s", i, a.Error)
+		}
+	}
+}

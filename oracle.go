@@ -1,6 +1,8 @@
 package msrp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,6 +12,19 @@ import (
 	msrpcore "msrp/internal/msrp"
 	"msrp/internal/ssrp"
 )
+
+// ErrNotSource is the sentinel wrapped by every "queried vertex is not
+// one of this oracle's sources" error (Query, QueryBatch, Answer.Err).
+// Callers — in particular serving front-ends mapping oracle errors to
+// HTTP status codes — should test with errors.Is(err, ErrNotSource)
+// rather than matching the message, which also carries the offending
+// vertex id.
+var ErrNotSource = errors.New("msrp: not an oracle source")
+
+// notSourceError wraps ErrNotSource with the offending vertex.
+func notSourceError(s int) error {
+	return fmt.Errorf("%w: %d", ErrNotSource, s)
+}
 
 // Query is one replacement-path question for Oracle.QueryBatch: the
 // length of the shortest Source→Target path avoiding the edge {U, V}.
@@ -59,24 +74,35 @@ type Oracle struct {
 	isSource map[int]bool
 	sh       *ssrp.Shared
 	pool     *engine.Pool
+	// seq is the long-lived sequential inner pool handed to per-source
+	// builds triggered by QueryBatch, whose fan-out is already across
+	// sources. One pool for the oracle's lifetime means its scratch free
+	// list carries build buffers from batch to batch; allocating a fresh
+	// pool per batch made every batched lazy build regrow its scratch
+	// from nothing.
+	seq *engine.Pool
 
 	mu       sync.Mutex
 	cache    map[int]*lruEntry
 	lruHead  *lruEntry // most recently used
 	lruTail  *lruEntry // least recently used; next eviction
 	inflight map[int]*oracleCall
+	warming  *warmCall // in-flight Warm, nil when idle (single-flight)
+	warmed   bool      // a Warm pipeline has completed; repeats are no-ops
 
 	// Serving counters (Stats). Plain atomics so the query hot path
 	// never takes an extra lock and concurrent batches never contend on
 	// observability.
-	hits         atomic.Int64
-	misses       atomic.Int64
-	builds       atomic.Int64
-	buildNanos   atomic.Int64
-	evictions    atomic.Int64
-	batches      atomic.Int64
-	batchQueries atomic.Int64
-	warms        atomic.Int64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	builds        atomic.Int64
+	buildNanos    atomic.Int64
+	evictions     atomic.Int64
+	batches       atomic.Int64
+	batchQueries  atomic.Int64
+	warms         atomic.Int64
+	rejections    atomic.Int64
+	cancellations atomic.Int64
 }
 
 // OracleStats is a point-in-time snapshot of an Oracle's serving
@@ -96,8 +122,16 @@ type OracleStats struct {
 	// Batches and BatchQueries describe QueryBatch traffic (divide for
 	// the mean batch size).
 	Batches, BatchQueries int64
-	// Warms counts Warm calls that ran the batch §8 pipeline.
+	// Warms counts Warm calls that ran the batch §8 pipeline to
+	// successful completion (joiners of an in-flight warm and warms that
+	// errored or were cancelled do not count).
 	Warms int64
+	// Rejections counts requests turned away by admission control (a
+	// serving front-end reporting 429 via RecordRejection).
+	Rejections int64
+	// Cancellations counts QueryBatchContext/WarmContext calls that
+	// returned early because their context was cancelled.
+	Cancellations int64
 }
 
 // HitRate returns the fraction of cache lookups served without
@@ -132,16 +166,30 @@ func (s OracleStats) AvgBatchSize() float64 {
 // in flight may be torn by at most the in-flight operations.
 func (o *Oracle) Stats() OracleStats {
 	return OracleStats{
-		Hits:         o.hits.Load(),
-		Misses:       o.misses.Load(),
-		Builds:       o.builds.Load(),
-		BuildTime:    time.Duration(o.buildNanos.Load()),
-		Evictions:    o.evictions.Load(),
-		Batches:      o.batches.Load(),
-		BatchQueries: o.batchQueries.Load(),
-		Warms:        o.warms.Load(),
+		Hits:          o.hits.Load(),
+		Misses:        o.misses.Load(),
+		Builds:        o.builds.Load(),
+		BuildTime:     time.Duration(o.buildNanos.Load()),
+		Evictions:     o.evictions.Load(),
+		Batches:       o.batches.Load(),
+		BatchQueries:  o.batchQueries.Load(),
+		Warms:         o.warms.Load(),
+		Rejections:    o.rejections.Load(),
+		Cancellations: o.cancellations.Load(),
 	}
 }
+
+// RecordRejection counts one admission-control rejection. The Oracle
+// never rejects work itself; this is the hook a serving front-end
+// (internal/server) calls when it turns a request away over capacity,
+// so rejected traffic shows up in the same Stats() snapshot as the
+// served traffic.
+func (o *Oracle) RecordRejection() { o.rejections.Add(1) }
+
+// Options returns the options the oracle was constructed with (a copy;
+// mutating it does not affect the oracle). Serving front-ends use it to
+// derive admission-control defaults from MaxCachedSources.
+func (o *Oracle) Options() Options { return o.opts }
 
 type lruEntry struct {
 	s          int
@@ -152,6 +200,13 @@ type lruEntry struct {
 type oracleCall struct {
 	done chan struct{}
 	res  *Result
+}
+
+// warmCall is one in-flight Warm shared by every concurrent caller
+// (single-flight): joiners wait on done and share err.
+type warmCall struct {
+	done chan struct{}
+	err  error
 }
 
 // NewOracle prepares an oracle over the given sources. Only the shared
@@ -176,6 +231,7 @@ func NewOracle(g *Graph, sources []int, opts Options) (*Oracle, error) {
 		isSource: make(map[int]bool, len(sources)),
 		sh:       sh,
 		pool:     sh.Pool,
+		seq:      engine.New(1),
 		cache:    make(map[int]*lruEntry, len(sources)),
 		inflight: make(map[int]*oracleCall),
 	}
@@ -191,7 +247,7 @@ func (o *Oracle) Sources() []int { return append([]int(nil), o.sources...) }
 // Query answers a single replacement-path question; s must be one of
 // the oracle's sources. Safe for concurrent use.
 func (o *Oracle) Query(s, t, u, v int) (int32, error) {
-	res, err := o.result(s, o.pool)
+	res, err := o.result(context.Background(), s, o.pool)
 	if err != nil {
 		return 0, err
 	}
@@ -203,6 +259,22 @@ func (o *Oracle) Query(s, t, u, v int) (int32, error) {
 // (sharded across the engine pool), each exactly once even under
 // concurrent batches. Safe for concurrent use.
 func (o *Oracle) QueryBatch(queries []Query) []Answer {
+	answers, _ := o.QueryBatchContext(context.Background(), queries)
+	return answers
+}
+
+// QueryBatchContext is QueryBatch with cancellation. Workers observe
+// ctx between per-source builds, so a cancelled batch returns promptly
+// — bounded by the builds already in flight, not by the batch — with a
+// nil answer slice and ctx.Err(). Builds that were in flight when the
+// cancel landed run to completion and stay cached (the LRU is never
+// left with partial state), so subsequent queries on the same oracle
+// return exactly what an uncancelled run would have.
+func (o *Oracle) QueryBatchContext(ctx context.Context, queries []Query) ([]Answer, error) {
+	if err := ctx.Err(); err != nil {
+		o.cancellations.Add(1)
+		return nil, err
+	}
 	o.batches.Add(1)
 	o.batchQueries.Add(int64(len(queries)))
 	answers := make([]Answer, len(queries))
@@ -212,7 +284,7 @@ func (o *Oracle) QueryBatch(queries []Query) []Answer {
 	var order []int
 	for i, q := range queries {
 		if !o.isSource[q.Source] {
-			answers[i].Err = fmt.Errorf("msrp: %d is not an oracle source", q.Source)
+			answers[i].Err = notSourceError(q.Source)
 			continue
 		}
 		if _, seen := bySource[q.Source]; !seen {
@@ -223,12 +295,17 @@ func (o *Oracle) QueryBatch(queries []Query) []Answer {
 
 	// Materialize the batch's sources in parallel. The fan-out is
 	// across sources here, so each per-source build runs its landmark
-	// stage sequentially (single-level parallelism).
+	// stage sequentially (single-level parallelism) on the oracle's
+	// long-lived inner pool, whose free list reuses build scratch
+	// across batches.
 	results := make([]*Result, len(order))
-	inner := engine.New(1)
-	o.pool.Run(len(order), func(i int) {
-		results[i], _ = o.result(order[i], inner) // source validated above
+	err := o.pool.RunCtx(ctx, len(order), func(i int) {
+		results[i], _ = o.result(ctx, order[i], o.seq) // source validated above
 	})
+	if err != nil {
+		o.cancellations.Add(1)
+		return nil, err
+	}
 
 	for i, s := range order {
 		res := results[i]
@@ -237,14 +314,14 @@ func (o *Oracle) QueryBatch(queries []Query) []Answer {
 			answers[qi].Length, answers[qi].Err = res.AvoidEdge(q.Target, q.U, q.V)
 		}
 	}
-	return answers
+	return answers, nil
 }
 
 // Result returns the full per-source result, materializing it if
 // needed, or nil when s is not an oracle source. Safe for concurrent
 // use. The result stays valid even after the LRU evicts it.
 func (o *Oracle) Result(s int) *Result {
-	res, err := o.result(s, o.pool)
+	res, err := o.result(context.Background(), s, o.pool)
 	if err != nil {
 		return nil
 	}
@@ -256,27 +333,79 @@ func (o *Oracle) Result(s int) *Result {
 // Õ(m√(nσ) + σn²) — cheaper than σ lazy builds, and the landmark
 // stage is not repeated) and caches them, subject to the LRU bound.
 // Sources already materialized are kept as-is; repeated calls are
-// deterministic.
-func (o *Oracle) Warm() error {
-	o.mu.Lock()
-	allCached := len(o.cache) == len(o.sources)
-	o.mu.Unlock()
-	if allCached {
-		return nil
-	}
-	o.warms.Add(1)
-	results, _, err := msrpcore.SolveShared(o.sh)
-	if err != nil {
+// deterministic, and once a warm has completed further calls are
+// no-ops (with a bounded LRU the σn² pipeline would only recompute
+// results the bound is going to evict again, churning the genuinely
+// hot entries out on the way).
+//
+// Warms are single-flight: concurrent callers join the pipeline run
+// already in flight and share its outcome rather than racing a second
+// σn² build.
+func (o *Oracle) Warm() error { return o.WarmContext(context.Background()) }
+
+// WarmContext is Warm with cancellation. The §8 pipeline observes ctx
+// between its per-source stage items, so a cancelled warm returns
+// promptly; nothing from a cancelled run enters the cache. The
+// pipeline runs on the initiating caller's context, so that caller
+// cancelling aborts the shared run; a joiner that inherits such an
+// abort retries with its own context rather than surfacing someone
+// else's cancellation.
+func (o *Oracle) WarmContext(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			o.cancellations.Add(1)
+			return err
+		}
+		o.mu.Lock()
+		if o.warmed || len(o.cache) == len(o.sources) {
+			o.mu.Unlock()
+			return nil
+		}
+		if c := o.warming; c != nil {
+			o.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.err == nil {
+					return nil
+				}
+				// The leader's run failed. If it died of its *own*
+				// context (not ours — ours is checked at the top of the
+				// loop), the failure says nothing about our request:
+				// retry, becoming the leader if the slot is still free.
+				if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+					continue
+				}
+				return c.err
+			case <-ctx.Done():
+				o.cancellations.Add(1)
+				return ctx.Err()
+			}
+		}
+		c := &warmCall{done: make(chan struct{})}
+		o.warming = c
+		o.mu.Unlock()
+
+		results, _, err := msrpcore.SolveSharedContext(ctx, o.sh)
+
+		o.mu.Lock()
+		if err == nil {
+			o.warms.Add(1) // count only pipeline runs that completed
+			o.warmed = true
+			for i, s := range o.sources {
+				if _, ok := o.cache[s]; !ok {
+					o.insertLocked(s, wrapResult(o.g.g, results[i]))
+				}
+			}
+		}
+		o.warming = nil
+		o.mu.Unlock()
+		if err != nil && ctx.Err() != nil {
+			o.cancellations.Add(1)
+		}
+		c.err = err
+		close(c.done)
 		return err
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	for i, s := range o.sources {
-		if _, ok := o.cache[s]; !ok {
-			o.insertLocked(s, wrapResult(o.g.g, results[i]))
-		}
-	}
-	return nil
 }
 
 // CachedSources returns how many per-source results are currently
@@ -290,9 +419,19 @@ func (o *Oracle) CachedSources() int {
 // result returns the materialized result for s, building it at most
 // once across concurrent callers (single-flight). pool bounds the
 // landmark fan-out of a build triggered by this call.
-func (o *Oracle) result(s int, pool *engine.Pool) (*Result, error) {
+//
+// Cancellation boundary: ctx is observed before starting or joining a
+// build — never during one. A build that has started always runs to
+// completion and is cached, so the LRU can never hold partial state
+// and single-flight joiners always receive a complete result; a joiner
+// whose ctx cancels mid-wait detaches with ctx.Err() while the build
+// continues for everyone else.
+func (o *Oracle) result(ctx context.Context, s int, pool *engine.Pool) (*Result, error) {
 	if !o.isSource[s] {
-		return nil, fmt.Errorf("msrp: %d is not an oracle source", s)
+		return nil, notSourceError(s)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	o.mu.Lock()
 	if e, ok := o.cache[s]; ok {
@@ -305,7 +444,15 @@ func (o *Oracle) result(s int, pool *engine.Pool) (*Result, error) {
 	if c, ok := o.inflight[s]; ok {
 		o.mu.Unlock()
 		o.misses.Add(1)
-		<-c.done
+		if done := ctx.Done(); done != nil {
+			select {
+			case <-c.done:
+			case <-done:
+				return nil, ctx.Err()
+			}
+		} else {
+			<-c.done
+		}
 		return c.res, nil
 	}
 	c := &oracleCall{done: make(chan struct{})}
