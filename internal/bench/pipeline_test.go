@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"msrp/internal/rp"
+)
+
+// TestPipelineSpeedup asserts the E14 acceptance criteria. Everywhere
+// it checks, on the quick instance, that the pipelined schedule is
+// bit-identical to the barrier schedule and that its peak live §7.1
+// path-expansion state drops on a σ ≫ P workload (σ=16, P=2: the
+// barrier holds all sixteen sources' state across its stage boundary,
+// the pipeline at most the two in flight — we assert at least a 2×
+// reduction, far inside the ~8× structural bound, to stay robust to
+// scheduling jitter). On hosts with ≥ 8 CPUs and no race detector it
+// additionally asserts the wall-clock criterion: the pipelined solve
+// beats the barrier schedule at Parallelism=8 on the full-size skewed
+// instance, where the dominant seed enumerations start as soon as
+// their own builds finish instead of waiting for the build barrier.
+func TestPipelineSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size skewed σ-source solves take seconds")
+	}
+	assertSpeedup := runtime.NumCPU() >= 8 && !raceEnabled
+
+	// Identity + memory on the quick instance at σ ≫ P.
+	quick := NewPipelineInstance(true)
+	const memP = 2
+	bRes, bStats, _, err := quick.Solve(memP, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRes, pStats, _, err := quick.Solve(memP, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bRes {
+		if d := rp.Diff(bRes[i], pRes[i]); d != "" {
+			t.Fatalf("pipelined output differs from barrier for source %d: %s",
+				quick.Sources[i], d)
+		}
+	}
+	if bStats.SeedCount == 0 {
+		t.Fatal("instance fed nothing into the seed table — E14 is not measuring the §8.2.1 stage")
+	}
+	if bStats.SeedCount != pStats.SeedCount || bStats.SeedRehashes != pStats.SeedRehashes {
+		t.Fatalf("seed table diverged: barrier (%d entries, %d rehashes), pipelined (%d, %d)",
+			bStats.SeedCount, bStats.SeedRehashes, pStats.SeedCount, pStats.SeedRehashes)
+	}
+	t.Logf("σ=%d P=%d peak seed-path bytes: barrier %d, pipelined %d (%.1fx reduction)",
+		quick.Sigma, memP, bStats.PeakSeedPathBytes, pStats.PeakSeedPathBytes,
+		float64(bStats.PeakSeedPathBytes)/float64(pStats.PeakSeedPathBytes))
+	if pStats.PeakSeedPathBytes*2 > bStats.PeakSeedPathBytes {
+		t.Errorf("pipelined peak path-state %d is not ≤ half the barrier peak %d at σ=%d P=%d",
+			pStats.PeakSeedPathBytes, bStats.PeakSeedPathBytes, quick.Sigma, memP)
+	}
+
+	if !assertSpeedup {
+		t.Skipf("NumCPU=%d race=%v: skipping the wall-clock speedup assertion (needs >= 8 CPUs, no -race)",
+			runtime.NumCPU(), raceEnabled)
+	}
+	inst := NewPipelineInstance(false)
+	_, _, barrierTime, err := inst.Solve(8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, pipeTime, err := inst.Solve(8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(barrierTime) / float64(pipeTime)
+	t.Logf("n=%d m=%d σ=%d: barrier %v, pipelined %v at P=8, speedup %.2fx",
+		inst.N, inst.M, inst.Sigma, barrierTime, pipeTime, speedup)
+	if speedup < 1.05 {
+		t.Fatalf("pipelined solve did not beat the barrier schedule at P=8: %.2fx (barrier %v, pipelined %v)",
+			speedup, barrierTime, pipeTime)
+	}
+}
+
+// BenchmarkPipelinedSolve benchmarks both schedules across Parallelism
+// on the quick instance (go test -bench Pipelined). CI's bench smoke
+// runs one iteration of each, so the pipelined path is exercised on an
+// uninstrumented build every push.
+func BenchmarkPipelinedSolve(b *testing.B) {
+	inst := NewPipelineInstance(true)
+	for _, cfg := range []struct {
+		name    string
+		par     int
+		barrier bool
+	}{
+		{"barrier_p1", 1, true},
+		{"pipelined_p1", 1, false},
+		{"barrier_p8", 8, true},
+		{"pipelined_p8", 8, false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := inst.Solve(cfg.par, cfg.barrier); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"msrp/internal/engine"
 	"msrp/internal/pqueue"
 )
 
@@ -88,13 +89,20 @@ func (b *Builder) Finalize() *Graph {
 		to:  make([]int32, len(b.to)),
 		w:   make([]int32, len(b.w)),
 	}
+	return b.finalizeInto(g, make([]int32, b.n))
+}
+
+// finalizeInto runs the counting-sort CSR construction into g's
+// (presized) arrays, with cursor as the length-n scatter cursor.
+// g.off must be zeroed; shared by Finalize and FinalizeScratch so the
+// two allocation strategies cannot drift.
+func (b *Builder) finalizeInto(g *Graph, cursor []int32) *Graph {
 	for _, f := range b.from {
 		g.off[f+1]++
 	}
 	for v := 0; v < b.n; v++ {
 		g.off[v+1] += g.off[v]
 	}
-	cursor := make([]int32, b.n)
 	copy(cursor, g.off[:b.n])
 	for i, f := range b.from {
 		g.to[cursor[f]] = b.to[i]
@@ -102,6 +110,27 @@ func (b *Builder) Finalize() *Graph {
 		cursor[f]++
 	}
 	return g
+}
+
+// FinalizeScratch is Finalize with the CSR arrays carved from an
+// engine scratch, valid only until the scratch's next Reset. It serves
+// the build-run-discard pattern of the §8.1/§8.2.2 auxiliary stages,
+// which otherwise heap-allocate Θ(nodes + arcs) per item just to throw
+// the graph away after one Run. A nil scratch falls back to Finalize.
+func (b *Builder) FinalizeScratch(sc *engine.Scratch) *Graph {
+	if sc == nil {
+		return b.Finalize()
+	}
+	g := &Graph{
+		n:   b.n,
+		off: sc.Int32(b.n + 1),
+		to:  sc.Int32(len(b.to)),
+		w:   sc.Int32(len(b.w)),
+	}
+	for i := range g.off {
+		g.off[i] = 0 // scratch carve-offs are not zeroed
+	}
+	return b.finalizeInto(g, sc.Int32(b.n))
 }
 
 // NumNodes returns the node count.
@@ -120,10 +149,28 @@ type Result struct {
 
 // Run executes Dijkstra from src and returns distances and parents.
 func (g *Graph) Run(src int32) *Result {
-	res := &Result{
+	return g.run(src, &Result{
 		Dist:   make([]int64, g.n),
 		Parent: make([]int32, g.n),
+	})
+}
+
+// RunScratch is Run with the Dist/Parent arrays carved from an engine
+// scratch — for callers that copy what they need out of the Result
+// before the scratch's next Reset (the §8.1/§8.2.2 stages, which
+// extract a handful of rows from a Θ(nodes) result). A nil scratch
+// falls back to Run.
+func (g *Graph) RunScratch(src int32, sc *engine.Scratch) *Result {
+	if sc == nil {
+		return g.Run(src)
 	}
+	return g.run(src, &Result{
+		Dist:   sc.Int64(g.n),
+		Parent: sc.Int32(g.n),
+	})
+}
+
+func (g *Graph) run(src int32, res *Result) *Result {
 	for i := range res.Dist {
 		res.Dist[i] = Inf
 		res.Parent[i] = -1

@@ -39,6 +39,10 @@ type Pool struct {
 	// observable that lets the serving layer assert its steady state
 	// performs no scratch growth (see ScratchAllocs).
 	allocs atomic.Int64
+
+	// steals counts successful range transfers in the work-stealing
+	// scheduler over the pool's lifetime (see Steals).
+	steals atomic.Int64
 }
 
 // New returns a pool with the given worker bound. workers <= 0 selects
@@ -53,6 +57,15 @@ func New(workers int) *Pool {
 
 // Workers returns the resolved worker bound (always >= 1).
 func (p *Pool) Workers() int { return p.workers }
+
+// Steals returns how many range transfers the work-stealing scheduler
+// has performed over the pool's lifetime — across Run, RunScratch, and
+// Pipeline entry points. Steal accounting is observability for the
+// skewed-workload tests and experiments (a zero count on a skewed
+// workload means the scheduler degraded to static partitioning); it is
+// one relaxed atomic increment per successful steal, far off any hot
+// path.
+func (p *Pool) Steals() int64 { return p.steals.Load() }
 
 // ScratchAllocs returns how many Scratch arenas the pool has allocated
 // over its lifetime. In steady state (same stage shapes, same

@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPipelineCoversEveryIndexInOrder: both stages run exactly once per
+// item, and stage B never runs before its own stage A.
+func TestPipelineCoversEveryIndexInOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			aRan := make([]atomic.Int32, n)
+			bRan := make([]atomic.Int32, n)
+			New(workers).PipelineScratch(n,
+				func(i int, _ *Scratch) { aRan[i].Add(1) },
+				func(i int, _ *Scratch) {
+					if aRan[i].Load() != 1 {
+						t.Errorf("workers=%d n=%d: stage B of %d ran before its stage A", workers, n, i)
+					}
+					bRan[i].Add(1)
+				})
+			for i := 0; i < n; i++ {
+				if aRan[i].Load() != 1 || bRan[i].Load() != 1 {
+					t.Fatalf("workers=%d n=%d: item %d ran A=%d B=%d times",
+						workers, n, i, aRan[i].Load(), bRan[i].Load())
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineDeterminism: per-index outputs flow A→B and are identical
+// for every worker count — the contract that lets the MSRP solve keep
+// its bit-identity guarantee on the pipelined schedule.
+func TestPipelineDeterminism(t *testing.T) {
+	const n = 700
+	compute := func(workers int) []int64 {
+		mid := make([]int64, n)
+		out := make([]int64, n)
+		New(workers).PipelineScratch(n,
+			func(i int, s *Scratch) {
+				buf := s.Int64(i%13 + 1)
+				for j := range buf {
+					buf[j] = int64(i+1) * int64(j+2)
+				}
+				var sum int64
+				for _, v := range buf {
+					sum += v
+				}
+				mid[i] = sum
+			},
+			func(i int, s *Scratch) {
+				buf := s.Int32(i%7 + 1)
+				for j := range buf {
+					buf[j] = int32(j)
+				}
+				out[i] = mid[i]*2 + int64(buf[len(buf)-1])
+			})
+		return out
+	}
+	want := compute(1)
+	for _, workers := range []int{2, 8} {
+		got := compute(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// forcedOverlap drives the deadlocks-on-regression proof that the
+// pipeline really overlaps stages across items: stage B of item 0 waits
+// for stage A of item `blocked` to have *started*, and stage A of item
+// `blocked` waits for stage B of item 0. A scheduler with a stage
+// barrier (all A's before any B) can never run B(0) while A(blocked) is
+// parked, so the two waits deadlock and the suite timeout reports it.
+// On the pipelined schedule the cycle resolves: the worker that owns
+// item 0 flows A(0)→B(0) while another worker is parked inside
+// A(blocked), proving B of one item ran strictly inside A of another.
+func forcedOverlap(t *testing.T, n, blocked int) {
+	t.Helper()
+	aBlockedEntered := make(chan struct{})
+	b0Done := make(chan struct{})
+	var aBlockedFinished atomic.Bool
+	var overlapSeen atomic.Bool
+	New(2).PipelineScratch(n,
+		func(i int, _ *Scratch) {
+			if i == blocked {
+				close(aBlockedEntered)
+				<-b0Done
+				aBlockedFinished.Store(true)
+			}
+		},
+		func(i int, _ *Scratch) {
+			if i == 0 {
+				<-aBlockedEntered
+				if !aBlockedFinished.Load() {
+					overlapSeen.Store(true)
+				}
+				close(b0Done)
+			}
+		})
+	if !overlapSeen.Load() {
+		t.Fatalf("n=%d blocked=%d: stage B of item 0 never observed stage A of item %d in flight",
+			n, blocked, blocked)
+	}
+}
+
+// TestPipelineForcedOverlapCounter exercises the counter scheduler
+// (n below the stealing threshold): worker 1 parks in A(1) until B(0)
+// has run.
+func TestPipelineForcedOverlapCounter(t *testing.T) { forcedOverlap(t, 2, 1) }
+
+// TestPipelineForcedOverlapStealing exercises the range-stealing
+// scheduler: item n/2 is the second worker's first pop, parked in its
+// stage A until B(0) has run on the other worker.
+func TestPipelineForcedOverlapStealing(t *testing.T) { forcedOverlap(t, 64, 32) }
+
+// TestPipelineForcedStealAccounting: the forced-steal workload from
+// TestForcedSteal, run through the pipeline entry point — the blocked
+// worker's remaining range must be stolen (both stages of each stolen
+// item run on the thief), and the pool's steal counter must have
+// recorded the transfers.
+func TestPipelineForcedStealAccounting(t *testing.T) {
+	const n = 1024
+	const workers = 2
+	const half = n / workers
+	stuck := chunkSize(half)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var done atomic.Int64
+	execA := make([]*Scratch, n)
+	execB := make([]*Scratch, n)
+	p := New(workers)
+	p.PipelineScratch(n,
+		func(i int, s *Scratch) {
+			execA[i] = s
+			switch {
+			case i == 0:
+				close(started)
+				<-release
+			case i >= half:
+				<-started
+			}
+		},
+		func(i int, s *Scratch) {
+			execB[i] = s
+			if i != 0 && i >= stuck && done.Add(1) == int64(n-stuck) {
+				close(release)
+			}
+		})
+	for i := stuck; i < half; i++ {
+		if execA[i] == execA[0] || execB[i] == execB[0] {
+			t.Fatalf("item %d ran on the blocked worker", i)
+		}
+		if execA[i] != execB[i] {
+			t.Fatalf("item %d split its stages across workers (depth-first contract)", i)
+		}
+	}
+	if p.Steals() == 0 {
+		t.Fatal("forced-steal pipeline recorded no steals")
+	}
+}
+
+// TestPipelineCtxPreCancelled: a dead context runs nothing in either
+// stage on any scheduler.
+func TestPipelineCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct{ workers, n int }{
+		{1, 100},  // sequential
+		{4, 8},    // counter
+		{4, 1000}, // stealing
+	} {
+		var ran atomic.Int64
+		err := New(tc.workers).PipelineScratchCtx(ctx, tc.n,
+			func(i int, _ *Scratch) { ran.Add(1) },
+			func(i int, _ *Scratch) { ran.Add(1) })
+		if err != context.Canceled {
+			t.Fatalf("workers=%d n=%d: err = %v, want context.Canceled", tc.workers, tc.n, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d n=%d: ran %d stages on a pre-cancelled context", tc.workers, tc.n, ran.Load())
+		}
+	}
+}
+
+// TestPipelineCtxCancelMidChunkStealing pins the cancellation bound on
+// the stealing path: a worker drains an already-claimed chunk without
+// the scheduler re-checking ctx, so the pipeline's per-item entry
+// check is what stops the remaining chunk items from paying their
+// stage A. After a cancel lands, at most one item per worker (the one
+// in flight) may end A-only; every other claimed item must run
+// neither stage.
+func TestPipelineCtxCancelMidChunkStealing(t *testing.T) {
+	const n, workers = 1024, 2 // n >= stealMinPerWorker*workers: stealing path
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	aRan := make([]atomic.Bool, n)
+	bRan := make([]atomic.Bool, n)
+	err := New(workers).PipelineScratchCtx(ctx, n,
+		func(i int, _ *Scratch) {
+			aRan[i].Store(true)
+			if i == 0 {
+				cancel() // mid-chunk: the first chunk holds ~64 items
+			}
+		},
+		func(i int, _ *Scratch) { bRan[i].Store(true) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	aOnly := 0
+	for i := range aRan {
+		if aRan[i].Load() && !bRan[i].Load() {
+			aOnly++
+		}
+	}
+	if aOnly > workers {
+		t.Fatalf("%d items ran only stage A after cancellation, want at most %d (one in flight per worker)",
+			aOnly, workers)
+	}
+}
+
+// TestPipelineCtxCancelBetweenStages: cancelling during an item's stage
+// A skips that item's stage B (the stage boundary is a cancellation
+// point) but never interrupts a stage in flight.
+func TestPipelineCtxCancelBetweenStages(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var aRan, bRan atomic.Int64
+	err := New(1).PipelineScratchCtx(ctx, 10,
+		func(i int, _ *Scratch) {
+			aRan.Add(1)
+			if i == 3 {
+				cancel()
+			}
+		},
+		func(i int, _ *Scratch) { bRan.Add(1) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Sequential schedule: items 0..3 ran stage A; B of item 3 was
+	// skipped at the stage boundary; no later item started.
+	if got := aRan.Load(); got != 4 {
+		t.Fatalf("stage A ran %d times, want 4", got)
+	}
+	if got := bRan.Load(); got != 3 {
+		t.Fatalf("stage B ran %d times, want 3 (item 3's B skipped after cancel)", got)
+	}
+}

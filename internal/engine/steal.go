@@ -103,7 +103,7 @@ func (p *Pool) runStealing(n, workers int, done <-chan struct{}, fn func(i int, 
 						fn(i, s)
 					}
 				}
-				if !stealRange(ranges, w, &unclaimed, done) {
+				if !p.stealRange(ranges, w, &unclaimed, done) {
 					return
 				}
 			}
@@ -120,7 +120,7 @@ func (p *Pool) runStealing(n, workers int, done <-chan struct{}, fn func(i int, 
 // the bottom item with the victim forever, so a worker stalled on one
 // heavy item would strand the last item of its range while every
 // other worker sat idle.
-func stealRange(ranges []wsRange, w int, unclaimed *atomic.Int64, done <-chan struct{}) bool {
+func (p *Pool) stealRange(ranges []wsRange, w int, unclaimed *atomic.Int64, done <-chan struct{}) bool {
 	for unclaimed.Load() > 0 {
 		if canceled(done) {
 			return false
@@ -139,6 +139,7 @@ func stealRange(ranges []wsRange, w int, unclaimed *atomic.Int64, done <-chan st
 			// Only worker w writes its own slot while it is empty, and
 			// no thief touches an empty range, so a plain store is safe.
 			ranges[w].bounds.Store(packRange(mid, hi))
+			p.steals.Add(1)
 			return true
 		}
 		runtime.Gosched()

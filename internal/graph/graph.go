@@ -216,10 +216,23 @@ func (b *Builder) MustBuild() *Graph {
 	return g
 }
 
+// sortAdjInsertionMax is the insertion-sort cutover: adjacency runs no
+// longer than this use insertion sort (the lists are two ascending
+// runs, so it is effectively a merge and beats a general sort on the
+// short lists that dominate sparse graphs); longer runs — adversarial
+// high-degree vertices such as star hubs, where insertion sort's O(d²)
+// worst case bites in BuildCSR — fall through to sort.Sort.
+const sortAdjInsertionMax = 32
+
 // sortAdj sorts the neighbor slice ascending, permuting the edge-id
-// slice in lockstep. Insertion sort: adjacency lists are mostly sorted
-// already (two ascending runs), so this is effectively a merge.
+// slice in lockstep. The graph is simple, so neighbor values within one
+// vertex's list are distinct and any comparison sort yields the same
+// (deterministic) layout as the insertion sort did.
 func sortAdj(nbr, eid []int32) {
+	if len(nbr) > sortAdjInsertionMax {
+		sort.Sort(adjSorter{nbr: nbr, eid: eid})
+		return
+	}
 	for i := 1; i < len(nbr); i++ {
 		nv, ne := nbr[i], eid[i]
 		j := i - 1
@@ -229,6 +242,19 @@ func sortAdj(nbr, eid []int32) {
 		}
 		nbr[j+1], eid[j+1] = nv, ne
 	}
+}
+
+// adjSorter co-sorts a neighbor slice and its edge-id slice by
+// neighbor id.
+type adjSorter struct {
+	nbr, eid []int32
+}
+
+func (a adjSorter) Len() int           { return len(a.nbr) }
+func (a adjSorter) Less(i, j int) bool { return a.nbr[i] < a.nbr[j] }
+func (a adjSorter) Swap(i, j int) {
+	a.nbr[i], a.nbr[j] = a.nbr[j], a.nbr[i]
+	a.eid[i], a.eid[j] = a.eid[j], a.eid[i]
 }
 
 // Clone returns a deep copy of g. Algorithms never mutate graphs, but

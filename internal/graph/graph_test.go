@@ -360,6 +360,121 @@ func BenchmarkBuildGNM(b *testing.B) {
 	}
 }
 
+// highDegreeGraph builds a graph with one hub adjacent to every other
+// vertex (degree n−1, far past the insertion-sort cutover) plus a
+// shuffled sprinkling of rim edges, with edge insertion order permuted
+// so the hub's adjacency needs real sorting work in BuildCSR.
+func highDegreeGraph(t testing.TB, n, hub int) *Graph {
+	rng := xrand.New(uint64(n + hub))
+	type edge struct{ u, v int }
+	var edges []edge
+	for v := 0; v < n; v++ {
+		if v != hub {
+			edges = append(edges, edge{hub, v})
+		}
+	}
+	for i := 0; i+1 < n; i += 7 {
+		if i != hub && i+1 != hub {
+			edges = append(edges, edge{i, i + 1})
+		}
+	}
+	for i := len(edges) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.u, e.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSortAdjHighDegree checks the sort.Sort cutover path: a hub vertex
+// of degree far past sortAdjInsertionMax (and a mid-path vertex whose
+// list interleaves lower and upper runs) come out of BuildCSR with the
+// same sorted adjacency and lockstep edge ids the insertion-sort path
+// produces for short lists.
+func TestSortAdjHighDegree(t *testing.T) {
+	const n = 500
+	for _, hub := range []int{0, n / 2, n - 1} {
+		g := highDegreeGraph(t, n, hub)
+		for v := 0; v < n; v++ {
+			nbrs, ids := g.Neighbors(v)
+			if !sort.SliceIsSorted(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] }) {
+				t.Fatalf("hub=%d: adjacency of %d not sorted", hub, v)
+			}
+			for i, w := range nbrs {
+				u, x := int(g.eu[ids[i]]), int(g.ev[ids[i]])
+				if !(u == v && x == int(w)) && !(x == v && u == int(w)) {
+					t.Fatalf("hub=%d: eid %d of vertex %d does not connect {%d,%d}",
+						hub, ids[i], v, v, w)
+				}
+			}
+		}
+	}
+}
+
+// TestSortAdjCutoverMatchesInsertion runs both sort paths over the same
+// shuffled pairs and demands identical output — the cutover must be
+// invisible.
+func TestSortAdjCutoverMatchesInsertion(t *testing.T) {
+	rng := xrand.New(99)
+	for _, size := range []int{0, 1, 2, sortAdjInsertionMax, sortAdjInsertionMax + 1, 200} {
+		// Distinct shuffled neighbor ids (adjacency lists of a simple
+		// graph never repeat a neighbor).
+		nbr := make([]int32, size)
+		eid := make([]int32, size)
+		for i := range nbr {
+			nbr[i] = int32(3*i + 1)
+			eid[i] = int32(i)
+		}
+		for i := size - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			nbr[i], nbr[j] = nbr[j], nbr[i]
+			eid[i], eid[j] = eid[j], eid[i]
+		}
+		wantNbr := append([]int32(nil), nbr...)
+		wantEid := append([]int32(nil), eid...)
+		// Insertion-sort reference (the short-list path, run manually).
+		for i := 1; i < len(wantNbr); i++ {
+			nv, ne := wantNbr[i], wantEid[i]
+			j := i - 1
+			for j >= 0 && wantNbr[j] > nv {
+				wantNbr[j+1], wantEid[j+1] = wantNbr[j], wantEid[j]
+				j--
+			}
+			wantNbr[j+1], wantEid[j+1] = nv, ne
+		}
+		sortAdj(nbr, eid)
+		for i := range nbr {
+			if nbr[i] != wantNbr[i] || eid[i] != wantEid[i] {
+				t.Fatalf("size %d: position %d = (%d,%d), want (%d,%d)",
+					size, i, nbr[i], eid[i], wantNbr[i], wantEid[i])
+			}
+		}
+	}
+}
+
+// BenchmarkBuildHighDegree measures BuildCSR on the adversarial
+// star-hub family the sortAdj cutover exists for (the hub's list was
+// O(d²) under pure insertion sort).
+func BenchmarkBuildHighDegree(b *testing.B) {
+	const n = 4000
+	g := highDegreeGraph(b, n, n/2) // warm path outside the loop
+	_ = g
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = highDegreeGraph(b, n, n/2)
+	}
+}
+
 func BenchmarkNeighborIteration(b *testing.B) {
 	g := GNM(xrand.New(1), 1000, 8000)
 	b.ResetTimer()

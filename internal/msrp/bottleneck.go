@@ -219,7 +219,8 @@ func buildBottleneck(ps *ssrp.PerSource, ctr *Centers, sc *sourceCenter, cl *cen
 	}
 	bs.NumNodes = total
 	bs.NumArcs = bld.NumArcs()
-	res := bld.Finalize().Run(0)
+	// Build-run-discard: the CSR and result live in the worker scratch.
+	res := bld.FinalizeScratch(scr).RunScratch(0, scr)
 
 	// Pass 3: extract bottleneck values.
 	for li := range lms {

@@ -57,6 +57,16 @@ func buildSeedTable(sh *ssrp.Shared, perSrc []*ssrp.PerSource, ctr *Centers) (*c
 	sh.Pool.RunScratch(len(perSrc), func(i int, sc *engine.Scratch) {
 		shards[i] = buildSeedShard(perSrc[i], ctr, sc)
 	})
+	return mergeSeedShards(shards)
+}
+
+// mergeSeedShards folds the per-source shards into one presized table
+// with MinPut, in source order, and returns it with the total rehash
+// count (shards + merge) — the E9/E13 cascade observability. The solve
+// pipeline calls this after its per-source build/enumerate stages (its
+// only cross-source barrier); buildSeedTable wraps it for the barrier
+// composition the seed-table tests exercise.
+func mergeSeedShards(shards []*cuckoo.Table) (*cuckoo.Table, int) {
 	rehashes := 0
 	total := 0
 	for _, shard := range shards {
@@ -271,7 +281,9 @@ func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed *cuckoo.Table,
 		}
 	}
 	sizes := [2]int64{int64(total), int64(bld.NumArcs())}
-	res := bld.Finalize().Run(0)
+	// G_c is build-run-discard (only the rows below survive), so both
+	// the CSR and the Dijkstra result live in the worker scratch.
+	res := bld.FinalizeScratch(sc).RunScratch(0, sc)
 
 	rows := make(map[int32][]int32, len(infos))
 	for idx := range infos {

@@ -34,7 +34,10 @@ package msrp
 
 import (
 	"context"
+	"sync/atomic"
+	"time"
 
+	"msrp/internal/cuckoo"
 	"msrp/internal/engine"
 	"msrp/internal/graph"
 	"msrp/internal/rp"
@@ -80,6 +83,29 @@ type Stats struct {
 	// Fixpoint sweep behaviour (default mode only).
 	Sweeps        int
 	SweepImproved int64
+
+	// Stage-latency breakdown (the ROADMAP's "load shedding informed by
+	// measured build latency"). The per-source stages — build (§7.1 +
+	// §8.1), seed enumeration (§8.2.1), assembly — record wall time
+	// summed over items, a measure that stays comparable when the
+	// pipelined schedule overlaps the stages; the seed merge and §8.2.2
+	// record plain wall time of their barriered runs.
+	StagePerSourceBuild time.Duration
+	StageSeedEnumerate  time.Duration
+	StageSeedMerge      time.Duration
+	StageCenterLandmark time.Duration
+	StageAssembly       time.Duration
+
+	// PeakSeedPathBytes is the high-water mark of live §7.1
+	// path-expansion state (Dijkstra parent chains + [t,e] target maps)
+	// across the solve. Each source's state is released as soon as its
+	// seed shard is enumerated, so the pipelined schedule peaks at
+	// Θ(P·aux) — the in-flight sources — while the barrier schedule
+	// (Params.BarrierPipeline) builds all σ sources before enumerating
+	// any and peaks at Θ(σ·aux). The exact value is schedule-dependent
+	// at P > 1 (it measures real concurrent liveness); the Θ bound is
+	// not.
+	PeakSeedPathBytes int64
 }
 
 // Solve computes all replacement path lengths from every source.
@@ -127,18 +153,55 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) ([]*rp.Result, *St
 		stats.CenterLevelSizes = append(stats.CenterLevelSizes, ctr.Levels.Size(k))
 	}
 
-	// Per-source trees, §7.1 graphs, and §8.1 graphs. Sources are
-	// independent here, so the stage shards across the engine pool;
-	// each worker's scratch carries the arc-builder arrays from item to
-	// item (and, via the pool free list, into the later stages).
+	// Per-source builds (trees, §7.1 graphs, §8.1 graphs) and §8.2.1
+	// seed-shard enumeration. A source's shard depends only on that
+	// source's build, so by default the two stages run as one
+	// dependency-aware pipeline over the engine pool: a worker
+	// finishing source i's build immediately enumerates source i's
+	// shard while other sources are still building (or unclaimed, and
+	// stealable). The only barrier left is the shard merge below —
+	// MinPut is commutative and idempotent, so contents are
+	// bit-identical at any worker count and any interleaving. Each
+	// worker's scratch carries the arc-builder arrays from item to item
+	// (and, via the pool free list, into the later stages).
+	//
+	// Memory: a source's §7.1 path-expansion state (the only input of
+	// its shard enumeration not needed afterwards) is released at the
+	// end of its stage B, so at most P sources' worth is live at once;
+	// the barrier schedule keeps all σ alive across its stage boundary.
+	// liveSeedPathBytes/peak track that high-water mark.
 	perSrc := make([]*ssrp.PerSource, len(sources))
 	scs := make([]*sourceCenter, len(sources))
-	if err := sh.Pool.RunScratchCtx(ctx, len(sources), func(i int, sc *engine.Scratch) {
+	shards := make([]*cuckoo.Table, len(sources))
+	var buildNanos, enumNanos, assembleNanos atomic.Int64
+	var liveSeedPathBytes, peakSeedPathBytes atomic.Int64
+	buildOne := func(i int, sc *engine.Scratch) {
+		start := time.Now()
 		ps := sh.NewPerSource(sources[i])
 		ps.BuildSmallNearScratch(sc)
 		perSrc[i] = ps
 		scs[i] = buildSourceCenter(ps, ctr, sc)
-	}); err != nil {
+		buildNanos.Add(time.Since(start).Nanoseconds())
+		maxInto(&peakSeedPathBytes, liveSeedPathBytes.Add(ps.Small.PathStateBytes()))
+	}
+	enumerateOne := func(i int, sc *engine.Scratch) {
+		start := time.Now()
+		shards[i] = buildSeedShard(perSrc[i], ctr, sc)
+		liveSeedPathBytes.Add(-perSrc[i].Small.ReleasePathState())
+		enumNanos.Add(time.Since(start).Nanoseconds())
+	}
+	var err error
+	if p.BarrierPipeline {
+		// The pre-pipeline schedule, kept for the E14 comparison and
+		// the bit-identity regression tests: all builds, then all
+		// enumerations.
+		if err = sh.Pool.RunScratchCtx(ctx, len(sources), buildOne); err == nil {
+			err = sh.Pool.RunScratchCtx(ctx, len(sources), enumerateOne)
+		}
+	} else {
+		err = sh.Pool.PipelineScratchCtx(ctx, len(sources), buildOne, enumerateOne)
+	}
+	if err != nil {
 		return nil, nil, err
 	}
 	for i := range perSrc {
@@ -147,16 +210,23 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) ([]*rp.Result, *St
 		stats.SCNodes += int64(scs[i].NumNodes)
 		stats.SCArcs += int64(scs[i].NumArcs)
 	}
+	stats.StagePerSourceBuild = time.Duration(buildNanos.Load())
+	stats.StageSeedEnumerate = time.Duration(enumNanos.Load())
+	stats.PeakSeedPathBytes = peakSeedPathBytes.Load()
 
-	// §8.2.1 seed table (sharded per source, merged), then §8.2.2.
-	// Both stages run whole; ctx is re-checked between them.
-	seed, seedRehashes := buildSeedTable(sh, perSrc, ctr)
+	// Shard merge (the one barrier the dependencies require), then
+	// §8.2.2; ctx is re-checked between stages.
+	mergeStart := time.Now()
+	seed, seedRehashes := mergeSeedShards(shards)
+	stats.StageSeedMerge = time.Since(mergeStart)
 	stats.SeedCount = seed.Len()
 	stats.SeedRehashes = seedRehashes
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	clStart := time.Now()
 	cl := buildCenterLandmark(sh, ctr, seed)
+	stats.StageCenterLandmark = time.Since(clStart)
 	stats.CLNodes = cl.NumNodes
 	stats.CLArcs = cl.NumArcs
 	if err := ctx.Err(); err != nil {
@@ -175,6 +245,8 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) ([]*rp.Result, *St
 	}
 	pss := make([]perSourceStats, len(perSrc))
 	if err := sh.Pool.RunScratchCtx(ctx, len(perSrc), func(i int, sc *engine.Scratch) {
+		start := time.Now()
+		defer func() { assembleNanos.Add(time.Since(start).Nanoseconds()) }()
 		ps := perSrc[i]
 		if p.PaperBottleneck {
 			lenSR, bs := assembleLenSRBottleneck(ps, ctr, scs[i], cl, sc)
@@ -189,6 +261,7 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) ([]*rp.Result, *St
 	}); err != nil {
 		return nil, nil, err
 	}
+	stats.StageAssembly = time.Duration(assembleNanos.Load())
 	for i := range pss {
 		stats.BNNodes += pss[i].bnNodes
 		stats.BNArcs += pss[i].bnArcs
@@ -201,4 +274,15 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) ([]*rp.Result, *St
 		stats.NearLargeScans += pss[i].combine.NearLargeScans
 	}
 	return results, stats, nil
+}
+
+// maxInto raises *peak to v if v is larger (CAS loop; concurrent
+// callers may interleave arbitrarily, the maximum is order-free).
+func maxInto(peak *atomic.Int64, v int64) {
+	for {
+		cur := peak.Load()
+		if v <= cur || peak.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }

@@ -1,0 +1,200 @@
+package msrp
+
+import (
+	"testing"
+
+	"msrp/internal/graph"
+	"msrp/internal/rp"
+	"msrp/internal/ssrp"
+	"msrp/internal/xrand"
+)
+
+// pipelineFamilies mirrors the public crosscheck families (plus the
+// skewed PathStarMix the work-stealing engine is measured on) at sizes
+// where the σ-source solve runs in milliseconds, so the schedule sweep
+// below stays cheap under -race.
+func pipelineFamilies() []struct {
+	name    string
+	g       *graph.Graph
+	sources []int32
+} {
+	rng := xrand.New(20200808)
+	fam := func(name string, g *graph.Graph) struct {
+		name    string
+		g       *graph.Graph
+		sources []int32
+	} {
+		n := int32(g.NumVertices())
+		srcs := []int32{0, n / 3, 2 * n / 3}
+		uniq := srcs[:0]
+		seen := map[int32]bool{}
+		for _, s := range srcs {
+			if !seen[s] {
+				seen[s] = true
+				uniq = append(uniq, s)
+			}
+		}
+		return struct {
+			name    string
+			g       *graph.Graph
+			sources []int32
+		}{name, g, uniq}
+	}
+	out := []struct {
+		name    string
+		g       *graph.Graph
+		sources []int32
+	}{
+		fam("erdos-renyi-sparse", graph.RandomConnected(rng, 48, 80)),
+		fam("erdos-renyi-dense", graph.RandomConnected(rng, 30, 160)),
+		fam("grid-4x9", graph.Grid(4, 9)),
+		fam("path-with-chords", graph.PathWithChords(rng, 40, 8)),
+		fam("cycle-with-chords", graph.CycleWithChords(rng, 36, 6)),
+		fam("barbell", graph.Barbell(8, 7)),
+	}
+	// The skewed family: deep path-tail sources interleaved with star
+	// leaves, the shape that makes the pipelined schedule actually
+	// overlap heavy builds with light enumerations.
+	psm := graph.PathStarMix(xrand.New(31), 60, 18, 12)
+	out = append(out, struct {
+		name    string
+		g       *graph.Graph
+		sources []int32
+	}{"path-star-mix", psm, []int32{59, 60, 40, 64, 20, 68}})
+	return out
+}
+
+func solveSchedule(t *testing.T, g *graph.Graph, sources []int32, par int, barrier bool) ([]*rp.Result, *Stats) {
+	t.Helper()
+	p := testParams(77)
+	p.Parallelism = par
+	p.BarrierPipeline = barrier
+	results, stats, err := Solve(g, sources, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, stats
+}
+
+// TestPipelinedSolveMatchesBarrier is the pipeline's bit-identity
+// acceptance: for every family, the pipelined schedule at Parallelism
+// ∈ {1, 2, 8} returns results identical to the barrier schedule (the
+// pre-pipeline implementation) at every worker count. CI runs this
+// under -race, so it doubles as the data-race proof for the fused
+// build→enumerate stages and the early path-state release.
+func TestPipelinedSolveMatchesBarrier(t *testing.T) {
+	for _, f := range pipelineFamilies() {
+		t.Run(f.name, func(t *testing.T) {
+			baseline, _ := solveSchedule(t, f.g, f.sources, 1, true)
+			for _, par := range []int{1, 2, 8} {
+				for _, barrier := range []bool{false, true} {
+					results, _ := solveSchedule(t, f.g, f.sources, par, barrier)
+					for i := range results {
+						if d := rp.Diff(baseline[i], results[i]); d != "" {
+							t.Fatalf("P=%d barrier=%v: source %d differs: %s",
+								par, barrier, f.sources[i], d)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPipelinePeakSeedPathBytes pins the memory contract at the
+// deterministic P=1 point: the barrier schedule holds every source's
+// §7.1 path-expansion state across its stage boundary (peak = the sum
+// over sources), while the pipelined schedule releases each source's
+// state before building the next (peak = the largest single source).
+func TestPipelinePeakSeedPathBytes(t *testing.T) {
+	g := graph.PathStarMix(xrand.New(5), 80, 24, 16)
+	sources := []int32{79, 80, 53, 84, 26, 88, 13, 92}
+
+	_, barrierStats := solveSchedule(t, g, sources, 1, true)
+	_, pipeStats := solveSchedule(t, g, sources, 1, false)
+
+	if barrierStats.PeakSeedPathBytes <= 0 || pipeStats.PeakSeedPathBytes <= 0 {
+		t.Fatalf("peak path-state bytes not recorded: barrier=%d pipelined=%d",
+			barrierStats.PeakSeedPathBytes, pipeStats.PeakSeedPathBytes)
+	}
+	// Reconstruct the two deterministic P=1 values independently.
+	p := testParams(77)
+	sh, err := ssrp.NewShared(g, sources, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, max int64
+	for _, s := range sources {
+		ps := sh.NewPerSource(s)
+		ps.BuildSmallNear()
+		b := ps.Small.PathStateBytes()
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if barrierStats.PeakSeedPathBytes != sum {
+		t.Errorf("barrier peak = %d, want sum over sources %d", barrierStats.PeakSeedPathBytes, sum)
+	}
+	if pipeStats.PeakSeedPathBytes != max {
+		t.Errorf("pipelined P=1 peak = %d, want max single source %d", pipeStats.PeakSeedPathBytes, max)
+	}
+	if pipeStats.PeakSeedPathBytes >= barrierStats.PeakSeedPathBytes {
+		t.Errorf("pipelined peak %d not below barrier peak %d",
+			pipeStats.PeakSeedPathBytes, barrierStats.PeakSeedPathBytes)
+	}
+}
+
+// TestStageLatencyBreakdown: the new Stats stage timers are populated
+// (every stage of a non-trivial solve takes measurable time) and the
+// pipelined schedule reports the same stages as the barrier one.
+func TestStageLatencyBreakdown(t *testing.T) {
+	g := graph.CycleWithChords(xrand.New(8), 72, 8)
+	sources := []int32{0, 24, 48}
+	for _, barrier := range []bool{false, true} {
+		_, stats := solveSchedule(t, g, sources, 2, barrier)
+		for _, st := range []struct {
+			name string
+			d    int64
+		}{
+			{"per-source build", int64(stats.StagePerSourceBuild)},
+			{"seed enumerate", int64(stats.StageSeedEnumerate)},
+			{"center landmark", int64(stats.StageCenterLandmark)},
+			{"assembly", int64(stats.StageAssembly)},
+		} {
+			if st.d <= 0 {
+				t.Errorf("barrier=%v: stage %q recorded no time", barrier, st.name)
+			}
+		}
+		// The merge can round to zero on a tiny table, but must never
+		// be negative.
+		if stats.StageSeedMerge < 0 {
+			t.Errorf("barrier=%v: negative merge time", barrier)
+		}
+	}
+}
+
+// TestReleasedSmallNearPanicsOnPathExpansion pins the release
+// contract: Value keeps answering, PathVertices panics.
+func TestReleasedSmallNearPanicsOnPathExpansion(t *testing.T) {
+	g := graph.Cycle(12)
+	sh, err := ssrp.NewShared(g, []int32{0}, testParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := sh.NewPerSource(0)
+	ps.BuildSmallNear()
+	before := ps.Small.Value(6, 5)
+	if freed := ps.Small.ReleasePathState(); freed <= 0 {
+		t.Fatalf("ReleasePathState freed %d bytes", freed)
+	}
+	if got := ps.Small.Value(6, 5); got != before {
+		t.Fatalf("Value changed after release: %d -> %d", before, got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PathVertices after release did not panic")
+		}
+	}()
+	ps.Small.PathVertices(6, 5)
+}

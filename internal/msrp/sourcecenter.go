@@ -134,7 +134,9 @@ func buildSourceCenter(ps *ssrp.PerSource, ctr *Centers, scr *engine.Scratch) *s
 	}
 	sc.NumNodes = total
 	sc.NumArcs = bld.NumArcs()
-	res := bld.Finalize().Run(0)
+	// G_s is build-run-discard (only the rows below survive), so both
+	// the CSR and the Dijkstra result live in the worker scratch.
+	res := bld.FinalizeScratch(scr).RunScratch(0, scr)
 
 	for idx := range infos {
 		in := &infos[idx]

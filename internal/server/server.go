@@ -283,6 +283,23 @@ type StatsResponse struct {
 	CachedSources    int     `json:"cachedSources"`
 	Sources          int     `json:"sources"`
 	MaxCachedSources int     `json:"maxCachedSources"`
+
+	// Stage-latency breakdown of the most recent completed warm (zero
+	// before any) and its peak live §7.1 path-expansion state — the
+	// measured-latency inputs for load shedding. The per-source stages
+	// are wall time summed over sources; merge and center stages plain
+	// wall time.
+	WarmStageBuildMillis          float64 `json:"warmStageBuildMillis"`
+	WarmStageSeedEnumerateMillis  float64 `json:"warmStageSeedEnumerateMillis"`
+	WarmStageSeedMergeMillis      float64 `json:"warmStageSeedMergeMillis"`
+	WarmStageCenterLandmarkMillis float64 `json:"warmStageCenterLandmarkMillis"`
+	WarmStageAssemblyMillis       float64 `json:"warmStageAssemblyMillis"`
+	WarmPeakSeedPathBytes         int64   `json:"warmPeakSeedPathBytes"`
+}
+
+// millis converts a duration to fractional milliseconds for the wire.
+func millis(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -304,6 +321,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CachedSources:    s.oracle.CachedSources(),
 		Sources:          len(s.oracle.Sources()),
 		MaxCachedSources: s.oracle.Options().MaxCachedSources,
+
+		WarmStageBuildMillis:          millis(st.WarmStages.PerSourceBuild),
+		WarmStageSeedEnumerateMillis:  millis(st.WarmStages.SeedEnumerate),
+		WarmStageSeedMergeMillis:      millis(st.WarmStages.SeedMerge),
+		WarmStageCenterLandmarkMillis: millis(st.WarmStages.CenterLandmark),
+		WarmStageAssemblyMillis:       millis(st.WarmStages.Assembly),
+		WarmPeakSeedPathBytes:         st.WarmPeakSeedPathBytes,
 	})
 }
 

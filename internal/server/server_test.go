@@ -312,6 +312,29 @@ func TestStatsAndHealthz(t *testing.T) {
 		t.Fatalf("implausible stats: %+v", stats)
 	}
 
+	// Warm the oracle and re-scrape: the stage-latency breakdown of the
+	// §8 pipeline (the measured-latency inputs for load shedding) must
+	// appear.
+	req = httptest.NewRequest(http.MethodPost, "/v1/warm", nil)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm status = %d", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Warms < 1 {
+		t.Fatalf("warm not counted: %+v", stats)
+	}
+	if stats.WarmStageBuildMillis <= 0 || stats.WarmStageCenterLandmarkMillis <= 0 ||
+		stats.WarmStageAssemblyMillis <= 0 || stats.WarmPeakSeedPathBytes <= 0 {
+		t.Fatalf("warm stage breakdown missing from stats scrape: %+v", stats)
+	}
+
 	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
 	rec = httptest.NewRecorder()
 	srv.ServeHTTP(rec, req)

@@ -48,6 +48,18 @@ type Params struct {
 	// stage slows from Õ(n) to Õ(n√(nσ)) per target.
 	FlatLandmarks bool
 
+	// BarrierPipeline disables the cross-stage pipelining of the MSRP
+	// solve's per-source stages: the §7.1/§8.1 builds of every source
+	// run to completion before the first §8.2.1 seed shard is
+	// enumerated (the pre-pipeline schedule), instead of each source
+	// flowing build → enumerate with no barrier until the shard merge.
+	// Output is bit-identical either way (the merge is commutative and
+	// idempotent); the flag exists for the E14 comparison and the
+	// pipeline regression tests. The barrier schedule also holds every
+	// source's §7.1 path-expansion state live at once — Θ(σ·aux) versus
+	// the pipelined Θ(P·aux) — which Stats.PeakSeedPathBytes measures.
+	BarrierPipeline bool
+
 	// PaperBottleneck selects the paper's literal §8.3 assembly in the
 	// multi-source solver (bottleneck edges + the §8.3.2 auxiliary
 	// graph, no fixpoint sweeps) instead of the default sound

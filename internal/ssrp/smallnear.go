@@ -60,6 +60,10 @@ type SmallNear struct {
 
 	res *dijkstra.Result
 
+	// released marks that ReleasePathState dropped the path-expansion
+	// state; PathVertices calls are a bug after that point.
+	released bool
+
 	// NumNodes and NumArcs record the built auxiliary graph size for
 	// the E9 experiment.
 	NumNodes int
@@ -148,8 +152,34 @@ func buildSmallNear(ps *PerSource, sc *engine.Scratch) *SmallNear {
 	}
 	sn.NumNodes = total
 	sn.NumArcs = b.NumArcs()
-	sn.res = b.Finalize().Run(ts.Root)
+	// The CSR is discarded after the one Run, so it can live in the
+	// worker scratch; the Result is retained (Value reads Dist for the
+	// rest of the solve) and stays on the heap.
+	sn.res = b.FinalizeScratch(sc).Run(ts.Root)
 	return sn
+}
+
+// PathStateBytes returns the byte footprint of the state needed only
+// for path expansion (the Dijkstra parent chains and the [t,e]-node
+// target map) — exactly what ReleasePathState frees. The Value lookups
+// (Dist and the block layout) are not included: they stay live through
+// the assembly stages.
+func (sn *SmallNear) PathStateBytes() int64 {
+	return 4*int64(len(sn.res.Parent)) + 4*int64(len(sn.teVertex))
+}
+
+// ReleasePathState drops the path-expansion state and returns the
+// bytes freed. The MSRP pipeline calls it as soon as a source's §8.2.1
+// seed shard has been enumerated — the only consumer of PathVertices —
+// so the Θ(aux)-per-source parent chains live for P in-flight sources
+// instead of all σ. Value (and NearStart) keep working; PathVertices
+// calls afterwards are a programming error and panic.
+func (sn *SmallNear) ReleasePathState() int64 {
+	freed := sn.PathStateBytes()
+	sn.res.Parent = nil
+	sn.teVertex = nil
+	sn.released = true
+	return freed
 }
 
 // NearStart returns the first near path-edge index for target t (its
@@ -191,6 +221,9 @@ func (sn *SmallNear) PathVertices(t int32, i int) []int32 {
 // through one per-worker scratch buffer removes its dominant per-path
 // allocation.
 func (sn *SmallNear) PathVerticesInto(dst []int32, t int32, i int) []int32 {
+	if sn.released {
+		panic("ssrp: SmallNear path state was released; PathVertices must run before ReleasePathState")
+	}
 	base := sn.teBase[t]
 	if base < 0 || int32(i) < sn.startIdx[t] || int32(i) >= sn.ps.Ts.Dist[t] {
 		return nil

@@ -103,6 +103,32 @@ type Oracle struct {
 	warms         atomic.Int64
 	rejections    atomic.Int64
 	cancellations atomic.Int64
+
+	// Stage breakdown of the most recent completed Warm pipeline,
+	// guarded by mu (written once per warm, far off the query path).
+	warmStages        StageTimes
+	warmPeakSeedBytes int64
+}
+
+// StageTimes is the per-stage latency breakdown of one §8 batch solve
+// (the pipeline Warm runs). The per-source stages (build, seed
+// enumeration, assembly) are wall time summed over sources — the
+// measure that stays comparable when the pipelined schedule overlaps
+// stages — while the seed merge and the §8.2.2 center stage are plain
+// wall time. Serving front-ends use the build-side numbers to inform
+// load shedding with measured latency rather than a static cap.
+type StageTimes struct {
+	// PerSourceBuild covers the §7.1 small-near and §8.1 source–center
+	// builds.
+	PerSourceBuild time.Duration
+	// SeedEnumerate covers the §8.2.1 per-source shard enumeration.
+	SeedEnumerate time.Duration
+	// SeedMerge covers folding the shards into the seed table.
+	SeedMerge time.Duration
+	// CenterLandmark covers the §8.2.2 per-center solves.
+	CenterLandmark time.Duration
+	// Assembly covers the per-source assembly, sweeps, and combine.
+	Assembly time.Duration
 }
 
 // OracleStats is a point-in-time snapshot of an Oracle's serving
@@ -132,6 +158,14 @@ type OracleStats struct {
 	// Cancellations counts QueryBatchContext/WarmContext calls that
 	// returned early because their context was cancelled.
 	Cancellations int64
+	// WarmStages is the stage-latency breakdown of the most recent
+	// completed Warm pipeline (zero before any warm completes).
+	WarmStages StageTimes
+	// WarmPeakSeedPathBytes is that pipeline's high-water mark of live
+	// §7.1 path-expansion state — Θ(Parallelism·aux) on the default
+	// pipelined schedule (each source's state is released as soon as
+	// its seed shard is enumerated).
+	WarmPeakSeedPathBytes int64
 }
 
 // HitRate returns the fraction of cache lookups served without
@@ -162,20 +196,29 @@ func (s OracleStats) AvgBatchSize() float64 {
 }
 
 // Stats snapshots the serving counters. Safe for concurrent use; the
-// fields are read individually, so a snapshot taken while queries are
-// in flight may be torn by at most the in-flight operations.
+// counter fields are read individually (plain atomics, no lock on the
+// query path), so a snapshot taken while queries are in flight may be
+// torn by at most the in-flight operations. The warm-stage fields are
+// read under the oracle lock (they are written once per completed
+// Warm).
 func (o *Oracle) Stats() OracleStats {
+	o.mu.Lock()
+	warmStages := o.warmStages
+	warmPeak := o.warmPeakSeedBytes
+	o.mu.Unlock()
 	return OracleStats{
-		Hits:          o.hits.Load(),
-		Misses:        o.misses.Load(),
-		Builds:        o.builds.Load(),
-		BuildTime:     time.Duration(o.buildNanos.Load()),
-		Evictions:     o.evictions.Load(),
-		Batches:       o.batches.Load(),
-		BatchQueries:  o.batchQueries.Load(),
-		Warms:         o.warms.Load(),
-		Rejections:    o.rejections.Load(),
-		Cancellations: o.cancellations.Load(),
+		Hits:                  o.hits.Load(),
+		Misses:                o.misses.Load(),
+		Builds:                o.builds.Load(),
+		BuildTime:             time.Duration(o.buildNanos.Load()),
+		Evictions:             o.evictions.Load(),
+		Batches:               o.batches.Load(),
+		BatchQueries:          o.batchQueries.Load(),
+		Warms:                 o.warms.Load(),
+		Rejections:            o.rejections.Load(),
+		Cancellations:         o.cancellations.Load(),
+		WarmStages:            warmStages,
+		WarmPeakSeedPathBytes: warmPeak,
 	}
 }
 
@@ -385,12 +428,20 @@ func (o *Oracle) WarmContext(ctx context.Context) error {
 		o.warming = c
 		o.mu.Unlock()
 
-		results, _, err := msrpcore.SolveSharedContext(ctx, o.sh)
+		results, solveStats, err := msrpcore.SolveSharedContext(ctx, o.sh)
 
 		o.mu.Lock()
 		if err == nil {
 			o.warms.Add(1) // count only pipeline runs that completed
 			o.warmed = true
+			o.warmStages = StageTimes{
+				PerSourceBuild: solveStats.StagePerSourceBuild,
+				SeedEnumerate:  solveStats.StageSeedEnumerate,
+				SeedMerge:      solveStats.StageSeedMerge,
+				CenterLandmark: solveStats.StageCenterLandmark,
+				Assembly:       solveStats.StageAssembly,
+			}
+			o.warmPeakSeedBytes = solveStats.PeakSeedPathBytes
 			for i, s := range o.sources {
 				if _, ok := o.cache[s]; !ok {
 					o.insertLocked(s, wrapResult(o.g.g, results[i]))

@@ -145,11 +145,23 @@ func TestOracleStats(t *testing.T) {
 		t.Fatalf("after batch: %+v", s)
 	}
 
+	if s = oracle.Stats(); s.WarmStages != (StageTimes{}) || s.WarmPeakSeedPathBytes != 0 {
+		t.Fatalf("warm-stage stats set before any Warm: %+v", s)
+	}
 	if err := oracle.Warm(); err != nil {
 		t.Fatal(err)
 	}
 	if s = oracle.Stats(); s.Warms != 1 {
 		t.Fatalf("after Warm: %+v", s)
+	}
+	// The Warm pipeline must leave its stage-latency breakdown and
+	// peak path-state high-water behind (the load-shedding inputs).
+	if s.WarmStages.PerSourceBuild <= 0 || s.WarmStages.SeedEnumerate <= 0 ||
+		s.WarmStages.CenterLandmark <= 0 || s.WarmStages.Assembly <= 0 {
+		t.Fatalf("warm stage breakdown not recorded: %+v", s.WarmStages)
+	}
+	if s.WarmPeakSeedPathBytes <= 0 {
+		t.Fatalf("warm peak seed-path bytes not recorded: %+v", s)
 	}
 
 	// Tight LRU: touching all sources in turn must evict.
