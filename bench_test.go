@@ -74,7 +74,7 @@ func BenchmarkE2_MSRPSigmaScaling(b *testing.B) {
 		}
 		b.Run(map[int]string{1: "sigma1", 2: "sigma2", 4: "sigma4"}[sigma], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := msrpcore.Solve(g, sources, benchParams(2)); err != nil {
+				if _, err := msrpcore.Solve(g, sources, benchParams(2)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -111,7 +111,7 @@ func BenchmarkE5_ExactnessWorkload(b *testing.B) {
 	p.SuffixScale = 0.5
 	sources := []int32{0, 66, 133}
 	for i := 0; i < b.N; i++ {
-		if _, _, err := msrpcore.Solve(g, sources, p); err != nil {
+		if _, err := msrpcore.Solve(g, sources, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -191,7 +191,7 @@ func BenchmarkE8_CrossoverCell(b *testing.B) {
 	})
 	b.Run("msrp", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := msrpcore.Solve(g, sources, benchParams(8)); err != nil {
+			if _, err := msrpcore.Solve(g, sources, benchParams(8)); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -54,7 +54,9 @@ func run() error {
 		maxCache = flag.Int("max-cached", 0, "LRU bound on materialized per-source results (0 = unlimited)")
 		inflight = flag.Int("max-inflight", 0, "concurrent /v1/query budget (0 = derive from -max-cached, <0 = unlimited)")
 		warms    = flag.Int("max-warms", 0, "concurrent /v1/warm budget (0 = 1, <0 = unlimited)")
-		retry    = flag.Duration("retry-after", time.Second, "backoff advertised on 429 responses")
+		retry    = flag.Duration("retry-after", 0, "backoff advertised on 429 responses (0 = derive from measured build latencies)")
+		track    = flag.Bool("track-paths", false, "record path provenance so \"paths\": true queries return concrete replacement paths")
+		pathCap  = flag.Int("max-path-vertices", 0, "per-response budget of path vertices (0 = 131072, <0 = unlimited)")
 		shutdown = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 		warmup   = flag.Bool("warm", false, "run the batch pipeline over every source before accepting traffic")
 	)
@@ -85,6 +87,7 @@ func run() error {
 	opts.SampleBoost = *boost
 	opts.Parallelism = *par
 	opts.MaxCachedSources = *maxCache
+	opts.TrackPaths = *track
 
 	oracle, err := msrp.NewOracle(g, srcs, opts)
 	if err != nil {
@@ -98,9 +101,10 @@ func run() error {
 	}
 
 	handler := server.New(oracle, server.Config{
-		MaxInFlight: *inflight,
-		MaxWarms:    *warms,
-		RetryAfter:  *retry,
+		MaxInFlight:     *inflight,
+		MaxWarms:        *warms,
+		RetryAfter:      *retry,
+		MaxPathVertices: *pathCap,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

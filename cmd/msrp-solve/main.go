@@ -41,6 +41,7 @@ func run() error {
 		boost   = flag.Float64("boost", 4, "sampling boost (1 = paper constants)")
 		exact   = flag.Bool("exact", false, "deterministic exhaustive-near mode")
 		par     = flag.Int("parallelism", 0, "engine workers (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
+		paths   = flag.Bool("paths", false, "track provenance and print each replacement path (validated: a real edge-avoiding walk of the reported length)")
 	)
 	flag.Parse()
 
@@ -72,13 +73,14 @@ func run() error {
 	p.SampleBoost = *boost
 	p.ExhaustiveNear = *exact
 	p.Parallelism = *par
+	p.TrackPaths = *paths
 
-	results, _, err := msrpcore.Solve(g, srcs, p)
+	sol, err := msrpcore.Solve(g, srcs, p)
 	if err != nil {
 		return err
 	}
 	out := os.Stdout
-	for _, res := range results {
+	for si, res := range sol.Results {
 		for t := int32(0); t < int32(g.NumVertices()); t++ {
 			if *target >= 0 && t != int32(*target) {
 				continue
@@ -93,10 +95,33 @@ func run() error {
 				if l := res.Len[t][i]; l != rp.Inf {
 					repl = strconv.Itoa(int(l))
 				}
-				fmt.Fprintf(out, "s=%d t=%d edge={%d,%d} d=%d replacement=%s\n",
-					res.Source, t, u, v, res.Tree.Dist[t], repl)
+				suffix := ""
+				if *paths && res.Len[t][i] != rp.Inf {
+					path, err := sol.PerSource[si].ReconstructPath(t, i)
+					if err != nil {
+						return fmt.Errorf("reconstruct s=%d t=%d i=%d: %w", res.Source, t, i, err)
+					}
+					if err := rp.CheckReplacementPath(g, path, res.Source, t, e, res.Len[t][i]); err != nil {
+						return fmt.Errorf("invalid path s=%d t=%d i=%d: %w", res.Source, t, i, err)
+					}
+					suffix = " path=" + fmtPath(path)
+				}
+				fmt.Fprintf(out, "s=%d t=%d edge={%d,%d} d=%d replacement=%s%s\n",
+					res.Source, t, u, v, res.Tree.Dist[t], repl, suffix)
 			}
 		}
 	}
 	return nil
+}
+
+// fmtPath renders a vertex sequence as 0-4-3-2.
+func fmtPath(path []int32) string {
+	var b strings.Builder
+	for i, v := range path {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		b.WriteString(strconv.Itoa(int(v)))
+	}
+	return b.String()
 }

@@ -37,6 +37,7 @@ func run() error {
 		seed   = flag.Uint64("seed", 1, "rng seed")
 		boost  = flag.Float64("boost", 12, "sampling boost")
 		scale  = flag.Float64("scale", 0.25, "suffix scale")
+		paths  = flag.Bool("paths", true, "also reconstruct every replacement path and machine-verify it (valid in G−e, avoids e, exact length)")
 	)
 	flag.Parse()
 
@@ -58,12 +59,14 @@ func run() error {
 		p.Seed = rng.Uint64()
 		p.SampleBoost = *boost
 		p.SuffixScale = *scale
+		p.TrackPaths = *paths
 
-		results, _, err := msrpcore.Solve(g, sources, p)
+		sol, err := msrpcore.Solve(g, sources, p)
 		if err != nil {
 			return err
 		}
-		mism, total := 0, 0
+		results := sol.Results
+		mism, total, badPaths, pathsChecked := 0, 0, 0, 0
 		for i, s := range sources {
 			want := naive.SSRP(g, s)
 			mm, tt := rp.CountMismatches(want, results[i])
@@ -72,18 +75,35 @@ func run() error {
 			if mm > 0 {
 				fmt.Printf("trial %d source %d: %s\n", trial, s, rp.Diff(want, results[i]))
 			}
+			if *paths {
+				good, bad := verifyPaths(g, sol.PerSource[i], results[i])
+				pathsChecked += good
+				badPaths += bad
+			}
 		}
 		status := "ok"
-		if mism > 0 {
+		if mism > 0 || badPaths > 0 {
 			status = "MISMATCH"
 			failures++
 		}
-		fmt.Printf("trial %2d: n=%d m=%d sigma=%d entries=%d mismatches=%d %s\n",
-			trial, *n, m, *sigma, total, mism, status)
+		fmt.Printf("trial %2d: n=%d m=%d sigma=%d entries=%d mismatches=%d paths=%d bad_paths=%d %s\n",
+			trial, *n, m, *sigma, total, mism, pathsChecked, badPaths, status)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d/%d trials mismatched", failures, *trials)
 	}
 	fmt.Printf("all %d trials exact\n", *trials)
 	return nil
+}
+
+// verifyPaths reconstructs every answer of one source and
+// machine-verifies it: a real walk in G−e, avoiding e, of exactly the
+// reported length. Returns (paths verified, failures); failures are
+// printed.
+func verifyPaths(g *graph.Graph, ps *ssrp.PerSource, res *rp.Result) (good, bad int) {
+	verified, failures := rp.VerifyReconstructions(g, res, 1, ps.ReconstructPath)
+	for _, f := range failures {
+		fmt.Printf("  bad path %s\n", f)
+	}
+	return verified, len(failures)
 }

@@ -12,8 +12,10 @@ import (
 	"testing"
 
 	"msrp/internal/graph"
+	msrpcore "msrp/internal/msrp"
 	"msrp/internal/naive"
 	"msrp/internal/rp"
+	"msrp/internal/ssrp"
 	"msrp/internal/xrand"
 )
 
@@ -69,6 +71,77 @@ func TestCrossCheckMultiSource(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestCrossCheckMultiSourcePaths is the provenance plane's exhaustive
+// acceptance: for every graph family, at P ∈ {1, 2, 8}, on both solve
+// schedules (pipelined and barrier), a TrackPaths solve must
+//
+//  1. report lengths bit-identical to the tracking-off solve (tracking
+//     only observes, never steers), which the families' boosted
+//     constants in turn pin to the brute-force optimum, and
+//  2. expand EVERY finite answer into a machine-verified replacement
+//     path: a real walk in G−e from s to t, avoiding e, of exactly the
+//     reported (= naive-exact) length — and no path for NoPath answers.
+func TestCrossCheckMultiSourcePaths(t *testing.T) {
+	for _, f := range crossCheckFamilies() {
+		t.Run(f.name, func(t *testing.T) {
+			n := f.g.NumVertices()
+			var sources []int32
+			for _, s := range crossCheckSources(n) {
+				sources = append(sources, int32(s))
+			}
+			wants := make([]*rp.Result, len(sources))
+			for i, s := range sources {
+				wants[i] = naive.SSRP(f.g, s)
+			}
+			for _, par := range []int{1, 2, 8} {
+				for _, barrier := range []bool{false, true} {
+					p := ssrp.DefaultParams()
+					p.Seed = 99
+					p.SampleBoost = 12
+					p.SuffixScale = 0.25
+					p.Parallelism = par
+					p.BarrierPipeline = barrier
+					plain, err := msrpcore.Solve(f.g, sources, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p.TrackPaths = true
+					sol, err := msrpcore.Solve(f.g, sources, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, s := range sources {
+						res := sol.Results[i]
+						if d := rp.Diff(plain.Results[i], res); d != "" {
+							t.Fatalf("P=%d barrier=%v source %d: tracking changed lengths: %s", par, barrier, s, d)
+						}
+						if d := rp.Diff(wants[i], res); d != "" {
+							t.Fatalf("P=%d barrier=%v source %d: %s", par, barrier, s, d)
+						}
+						verifyResultPaths(t, f.g, sol.PerSource[i], res, par, barrier)
+					}
+				}
+			}
+		})
+	}
+}
+
+// verifyResultPaths reconstructs every answer of one source and
+// machine-verifies it against the reported length.
+func verifyResultPaths(t *testing.T, g *graph.Graph, ps *ssrp.PerSource, res *rp.Result, par int, barrier bool) {
+	t.Helper()
+	verified, failures := rp.VerifyReconstructions(g, res, 1, ps.ReconstructPath)
+	for _, f := range failures {
+		t.Errorf("P=%d barrier=%v %s", par, barrier, f)
+	}
+	if len(failures) > 0 {
+		t.FailNow()
+	}
+	if verified == 0 && res.NumQueries() > 0 {
+		t.Fatalf("P=%d barrier=%v s=%d: nothing verified", par, barrier, res.Source)
 	}
 }
 

@@ -52,13 +52,13 @@ func TestFuzzSeedSweep(t *testing.T) {
 		p.SampleBoost = 12
 		p.SuffixScale = 0.25
 		p.PaperBottleneck = trial%2 == 1 // alternate assembly modes
-		results, _, err := msrpcore.Solve(g, sources, p)
+		sol, err := msrpcore.Solve(g, sources, p)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		for i, s := range sources {
 			want := naive.SSRP(g, s)
-			if d := rp.Diff(want, results[i]); d != "" {
+			if d := rp.Diff(want, sol.Results[i]); d != "" {
 				t.Fatalf("trial %d (n=%d m=%d σ=%d mode=%v) source %d: %s",
 					trial, n, m, sigma, p.PaperBottleneck, s, d)
 			}
@@ -115,6 +115,12 @@ func graphFromFuzzBytes(data []byte) *graph.Graph {
 //   - a reported length is achievable, i.e. at least the brute-force
 //     optimum for the same (s, t, e);
 //   - NoPath is reported iff the brute force also finds no path.
+//
+// Every query also requests the concrete path (the oracle runs with
+// TrackPaths) and asserts the path/length invariant: the answer's path
+// is a real walk in G−e from s to t with exactly Length edges — the
+// reconstruction is a certificate, never a guess — and NoPath answers
+// carry no path.
 func FuzzOracleQuery(f *testing.F) {
 	f.Add([]byte{5, 0, 1, 1, 2, 2, 3, 3, 4, 4, 0}, uint8(0), uint8(2), uint8(0), uint64(1))
 	f.Add([]byte{0, 0, 1, 1, 2, 2, 3}, uint8(0), uint8(3), uint8(1), uint64(7)) // path: bridges
@@ -128,6 +134,7 @@ func FuzzOracleQuery(f *testing.F) {
 		s := int(sByte) % n
 
 		opts := testOptions(seed)
+		opts.TrackPaths = true
 		oracle, err := NewOracle(WrapGraph(ig), []int{s}, opts)
 		if err != nil {
 			t.Fatalf("oracle construction failed on a valid graph: %v", err)
@@ -144,7 +151,7 @@ func FuzzOracleQuery(f *testing.F) {
 		i := int(eiByte) % (len(path) - 1)
 		u, v := int(path[i]), int(path[i+1])
 
-		answers := oracle.QueryBatch([]Query{{Source: s, Target: target, U: u, V: v}})
+		answers := oracle.QueryBatch([]Query{{Source: s, Target: target, U: u, V: v, Paths: true}})
 		if answers[0].Err != nil {
 			t.Fatalf("on-path query rejected: %v", answers[0].Err)
 		}
@@ -157,11 +164,17 @@ func FuzzOracleQuery(f *testing.F) {
 		want := naive.OnePair(ig, int32(s), int32(target), e)
 
 		if got == NoPath {
+			if answers[0].Path != nil {
+				t.Fatalf("d(%d,%d,{%d,%d}): NoPath answer carries a path", s, target, u, v)
+			}
 			if want != rp.Inf {
 				t.Fatalf("d(%d,%d,{%d,%d}): reported NoPath, brute force found %d",
 					s, target, u, v, want)
 			}
 			return
+		}
+		if err := rp.CheckReplacementPath(ig, answers[0].Path, int32(s), int32(target), e, got); err != nil {
+			t.Fatalf("d(%d,%d,{%d,%d}): path/length invariant violated: %v", s, target, u, v, err)
 		}
 		if want == rp.Inf {
 			t.Fatalf("d(%d,%d,{%d,%d}): reported %d, but no replacement path exists",

@@ -139,5 +139,6 @@ func All() []Experiment {
 		{"E12", "Engine parallel scaling", "σ-source solve and batched Oracle vs Parallelism (near-linear to GOMAXPROCS)", RunE12},
 		{"E13", "Seed-table shard + work-stealing scaling", "sharded §8.2.1 build and steal-half scheduling on a skewed σ-source family", RunE13},
 		{"E14", "Pipelined vs barrier solve", "cross-stage §8.1→§8.2.1 pipelining: wall time and peak path-state bytes", RunE14},
+		{"E15", "Provenance plane overhead", "TrackPaths at σ=16: bit-identical lengths, retained ProvenanceBytes vs the transient PeakSeedPathBytes", RunE15},
 	}
 }

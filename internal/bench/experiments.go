@@ -138,10 +138,11 @@ func RunE2(w io.Writer, cfg Config) error {
 		var mres []*rp.Result
 		tMSRP := timed(func() {
 			var err error
-			mres, _, err = msrp.Solve(g, sources, p)
+			sol, err := msrp.Solve(g, sources, p)
 			if err != nil {
 				panic(err)
 			}
+			mres = sol.Results
 		})
 		tSSRP := timed(func() {
 			for _, s := range sources {
@@ -240,10 +241,11 @@ func RunE4(w io.Writer, cfg Config) error {
 		nn := r.g.NumVertices()
 		if r.multi {
 			sources := []int32{0, int32(nn / 2)}
-			mres, _, err := msrp.Solve(r.g, sources, r.p)
+			sol, err := msrp.Solve(r.g, sources, r.p)
 			if err != nil {
 				return err
 			}
+			mres := sol.Results
 			mism, total := 0, 0
 			for i, s := range sources {
 				want := naive.SSRP(r.g, s)
@@ -323,8 +325,11 @@ func RunE5(w io.Writer, cfg Config) error {
 }
 
 func solveMulti(g *graph.Graph, sources []int32, p ssrp.Params) ([]*rp.Result, error) {
-	res, _, err := msrp.Solve(g, sources, p)
-	return res, err
+	sol, err := msrp.Solve(g, sources, p)
+	if err != nil {
+		return nil, err
+	}
+	return sol.Results, nil
 }
 
 // RunE6 — the BMM reduction (Theorem 28): correctness of C = A×B via
@@ -447,7 +452,7 @@ func RunE8(w io.Writer, cfg Config) error {
 				}
 			})
 			tMSRP := timed(func() {
-				if _, _, err := msrp.Solve(g, sources, p); err != nil {
+				if _, err := msrp.Solve(g, sources, p); err != nil {
 					panic(err)
 				}
 			})
@@ -484,10 +489,11 @@ func RunE9(w io.Writer, cfg Config) error {
 		for i := range sources {
 			sources[i] = int32(i * (n / sigma))
 		}
-		_, stats, err := msrp.Solve(g, sources, mild(uint64(n), n, sigma))
+		sol, err := msrp.Solve(g, sources, mild(uint64(n), n, sigma))
 		if err != nil {
 			return err
 		}
+		stats := sol.Stats
 		// seed_rehashes is the cuckoo cascade indicator: the presized
 		// sharded build keeps it at zero at every size.
 		t.Row(n, sigma, stats.AuxNodes, stats.AuxArcs,
@@ -528,10 +534,11 @@ func RunE10(w io.Writer, cfg Config) error {
 			var results []*rp.Result
 			d := timed(func() {
 				var err error
-				results, stats, err = msrp.Solve(wl.g, sources, p)
+				sol, err := msrp.Solve(wl.g, sources, p)
 				if err != nil {
 					panic(err)
 				}
+				results, stats = sol.Results, sol.Stats
 			})
 			mism := 0
 			for i, s := range sources {

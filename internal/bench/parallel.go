@@ -48,7 +48,12 @@ func (inst SigmaSourceInstance) Solve(parallelism int) ([]*rp.Result, time.Durat
 	p.Parallelism = parallelism
 	var results []*rp.Result
 	var err error
-	d := timed(func() { results, _, err = msrp.Solve(inst.G, inst.Sources, p) })
+	d := timed(func() {
+		var sol *msrp.Solution
+		if sol, err = msrp.Solve(inst.G, inst.Sources, p); err == nil {
+			results = sol.Results
+		}
+	})
 	return results, d, err
 }
 

@@ -60,7 +60,12 @@ func (inst PipelineInstance) Solve(parallelism int, barrier bool) ([]*rp.Result,
 	var results []*rp.Result
 	var stats *msrp.Stats
 	var err error
-	d := timed(func() { results, stats, err = msrp.Solve(inst.G, inst.Sources, p) })
+	d := timed(func() {
+		var sol *msrp.Solution
+		if sol, err = msrp.Solve(inst.G, inst.Sources, p); err == nil {
+			results, stats = sol.Results, sol.Stats
+		}
+	})
 	return results, stats, d, err
 }
 

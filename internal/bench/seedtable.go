@@ -58,7 +58,12 @@ func (inst SeedTableInstance) Preprocess(parallelism int) ([]*rp.Result, *msrp.S
 	var results []*rp.Result
 	var stats *msrp.Stats
 	var err error
-	d := timed(func() { results, stats, err = msrp.Solve(inst.G, inst.Sources, p) })
+	d := timed(func() {
+		var sol *msrp.Solution
+		if sol, err = msrp.Solve(inst.G, inst.Sources, p); err == nil {
+			results, stats = sol.Results, sol.Stats
+		}
+	})
 	return results, stats, d, err
 }
 

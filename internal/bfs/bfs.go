@@ -81,6 +81,12 @@ func New(g *graph.Graph, root int) *Tree {
 // Reachable reports whether v has a path from the root.
 func (t *Tree) Reachable(v int32) bool { return t.Dist[v] != Unreachable }
 
+// Bytes returns the tree's array footprint — the unit the provenance
+// plane's memory accounting uses for the retained center forests.
+func (t *Tree) Bytes() int64 {
+	return 4 * int64(len(t.Dist)+len(t.Parent)+len(t.ParentEdge)+len(t.Order))
+}
+
 // PathTo returns the canonical root→v tree path as a vertex sequence
 // (root first, v last), or nil if v is unreachable.
 func (t *Tree) PathTo(v int32) []int32 {

@@ -174,11 +174,12 @@ func solveGadget(a, b, c *Matrix, gi, sigma, q int, p msrp.Params, stats *Reduct
 	stats.GadgetVerts += g.NumVertices()
 	stats.GadgetEdges += g.NumEdges()
 
-	results, mstats, err := msrp.Solve(g, sources, p)
+	sol, err := msrp.Solve(g, sources, p)
 	if err != nil {
 		return err
 	}
-	stats.MSRPQueries += mstats.Queries
+	results := sol.Results
+	stats.MSRPQueries += sol.Stats.Queries
 
 	// Decode.
 	for chain := 0; chain < sigma; chain++ {

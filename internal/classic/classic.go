@@ -95,6 +95,15 @@ func PairWitness(g *graph.Graph, ts, tt *bfs.Tree, t int32) ([]int32, []Witness)
 	return pairWitness(g, ts, tt, t, nil)
 }
 
+// PairWitnessScratch is PairWitness with the transient working state
+// carved from an engine scratch — the tracked counterpart of
+// PairScratch, used by the per-landmark fan-out when path provenance is
+// recorded. The returned lengths and witnesses are heap-allocated and
+// safe to retain.
+func PairWitnessScratch(g *graph.Graph, ts, tt *bfs.Tree, t int32, sc *engine.Scratch) ([]int32, []Witness) {
+	return pairWitness(g, ts, tt, t, sc)
+}
+
 func pairWitness(g *graph.Graph, ts, tt *bfs.Tree, t int32, sc *engine.Scratch) ([]int32, []Witness) {
 	if tt.Root != t {
 		panic("classic: tt is not the BFS tree of t")

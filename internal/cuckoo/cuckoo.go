@@ -115,6 +115,11 @@ func (t *Table) Len() int { return t.count }
 // for the hash-behaviour experiment).
 func (t *Table) Rehashes() int { return t.rehashes }
 
+// Bytes returns the table's slot-array footprint (16 bytes per slot:
+// key + value + occupancy, padded). Used by the provenance-plane memory
+// accounting, which retains the §8.2.1 seed table for path expansion.
+func (t *Table) Bytes() int64 { return 16 * int64(len(t.t1)+len(t.t2)) }
+
 // Get returns the value stored under key. Worst case: two probes.
 func (t *Table) Get(key uint64) (int32, bool) {
 	if t.t1 == nil {

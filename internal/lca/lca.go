@@ -51,6 +51,10 @@ func NewAncestry(g *graph.Graph, t *bfs.Tree) *Ancestry {
 	return a
 }
 
+// Bytes returns the ancestry's own array footprint (excluding the tree
+// it indexes) — used by the provenance plane's memory accounting.
+func (a *Ancestry) Bytes() int64 { return 4 * int64(len(a.tin)+len(a.tout)) }
+
 // New builds the full ancestry + LCA index for t. The graph g must be
 // the graph t was built from (needed to enumerate children
 // deterministically).

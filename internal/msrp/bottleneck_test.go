@@ -49,7 +49,7 @@ func TestBottleneckSoundnessAtPaperConstants(t *testing.T) {
 		p := DefaultParams()
 		p.PaperBottleneck = true
 		p.Seed = uint64(trial) + 40
-		got, _, err := Solve(g, []int32{0}, p)
+		got, _, err := solveT(g, []int32{0}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +72,7 @@ func TestBottleneckSoundnessAtPaperConstants(t *testing.T) {
 
 func TestBottleneckStats(t *testing.T) {
 	g := graph.Cycle(60)
-	_, stats, err := Solve(g, []int32{0, 30}, bottleneckParams(7))
+	_, stats, err := solveT(g, []int32{0, 30}, bottleneckParams(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +88,11 @@ func TestModesAgreeWhenBothExact(t *testing.T) {
 	rng := xrand.New(8)
 	g := graph.RandomConnected(rng, 60, 150)
 	sources := []int32{0, 30}
-	a, _, err := Solve(g, sources, testParams(9))
+	a, _, err := solveT(g, sources, testParams(9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := Solve(g, sources, bottleneckParams(9))
+	b, _, err := solveT(g, sources, bottleneckParams(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestPaperBottleneckCornerIsReal(t *testing.T) {
 	p.Seed = 240
 	p.PaperBottleneck = true
 
-	results, _, err := Solve(g, sources, p)
+	results, _, err := solveT(g, sources, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestPaperBottleneckCornerIsReal(t *testing.T) {
 
 	// The default assembly must be exact on the same instance.
 	p.PaperBottleneck = false
-	results, _, err = Solve(g, sources, p)
+	results, _, err = solveT(g, sources, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -159,6 +159,11 @@ type centerLandmark struct {
 	// T_c path from c toward r, j < min(budget, |cr|).
 	rows map[int32]map[int32][]int32
 
+	// prov[c] retains G_c's parent chains and node decode tables under
+	// Params.TrackPaths (the provenance plane's §8.2.2 layer); empty
+	// otherwise.
+	prov map[int32]*auxProv
+
 	// Aggregate aux-graph size counters (all G_c combined) for E9.
 	NumNodes int64
 	NumArcs  int64
@@ -182,25 +187,31 @@ func buildCenterLandmark(sh *ssrp.Shared, ctr *Centers, seed *cuckoo.Table) *cen
 	cl := &centerLandmark{
 		ctr:  ctr,
 		rows: make(map[int32]map[int32][]int32, len(ctr.List)),
+		prov: make(map[int32]*auxProv),
 	}
 	perCenter := make([]map[int32][]int32, len(ctr.List))
+	provs := make([]*auxProv, len(ctr.List))
 	sizes := make([][2]int64, len(ctr.List))
 	sh.Pool.RunScratch(len(ctr.List), func(i int, sc *engine.Scratch) {
-		perCenter[i], sizes[i] = cl.buildOne(sh, ctr.List[i], seed, sc)
+		perCenter[i], provs[i], sizes[i] = cl.buildOne(sh, ctr.List[i], seed, sc)
 	})
 	for i, c := range ctr.List {
 		cl.rows[c] = perCenter[i]
+		if provs[i] != nil {
+			cl.prov[c] = provs[i]
+		}
 		cl.NumNodes += sizes[i][0]
 		cl.NumArcs += sizes[i][1]
 	}
 	return cl
 }
 
-// buildOne builds and solves G_c, returning the d(c,r,·) rows and the
-// graph's (nodes, arcs) size pair. It must not write shared state:
+// buildOne builds and solves G_c, returning the d(c,r,·) rows, the
+// retained provenance (TrackPaths only, else nil), and the graph's
+// (nodes, arcs) size pair. It must not write shared state:
 // buildCenterLandmark runs it concurrently across centers. sc backs the
 // transient arc builder and covered-edge buffers.
-func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed *cuckoo.Table, sc *engine.Scratch) (map[int32][]int32, [2]int64) {
+func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed *cuckoo.Table, sc *engine.Scratch) (map[int32][]int32, *auxProv, [2]int64) {
 	g := sh.G
 	ctr := cl.ctr
 	tc := ctr.Tree[c]
@@ -299,7 +310,27 @@ func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed *cuckoo.Table,
 		}
 		rows[in.r] = row
 	}
-	return rows, sizes
+	var ap *auxProv
+	if sh.Params.TrackPaths {
+		ap = &auxProv{
+			parent:  append([]int32(nil), res.Parent...),
+			nodeOwn: make([]int32, total),
+			nodeIdx: make([]int32, total),
+			base:    make(map[int32]int32, len(infos)),
+			start:   make(map[int32]int32, len(infos)),
+		}
+		ap.nodeOwn[0], ap.nodeIdx[0] = -1, -1
+		for idx := range infos {
+			in := &infos[idx]
+			ap.nodeOwn[in.node], ap.nodeIdx[in.node] = in.r, -1
+			ap.base[in.r], ap.start[in.r] = in.base, 0 // G_c covers the prefix
+			for j := int32(0); j < in.count; j++ {
+				ap.nodeOwn[in.base+j] = in.r
+				ap.nodeIdx[in.base+j] = j
+			}
+		}
+	}
+	return rows, ap, sizes
 }
 
 // dCR returns d(c, r, e) where e is a graph edge: |cr| when e is off

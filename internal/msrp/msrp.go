@@ -104,19 +104,46 @@ type Stats struct {
 	// (Params.BarrierPipeline) builds all σ sources before enumerating
 	// any and peaks at Θ(σ·aux). The exact value is schedule-dependent
 	// at P > 1 (it measures real concurrent liveness); the Θ bound is
-	// not.
+	// not. Path tracking does not change it: the provenance snapshot is
+	// a separate, deliberately retained plane accounted below.
 	PeakSeedPathBytes int64
+
+	// ProvenanceBytes is the retained footprint of the provenance plane
+	// when Params.TrackPaths is set (per-source witness snapshots and
+	// answer provenance, the §8.1/§8.2.2 parent chains, and the seed
+	// table); 0 otherwise.
+	ProvenanceBytes int64
+}
+
+// Solution is the output of one multi-source solve: the per-source
+// replacement-length results, the per-source solver state that expands
+// them (canonical trees, and — under Params.TrackPaths — the witness
+// snapshots and answer provenance, with the shared Provenance plane
+// installed as each source's landmark-path expander), and the solve
+// counters. PRs 1–4 returned bare result slices and grew side channels
+// ad hoc; the provenance plane made the answer a first-class composite.
+type Solution struct {
+	// Results holds the replacement-length tables, in source order.
+	Results []*rp.Result
+	// PerSource holds the matching solver state, in source order.
+	// PerSource[i].ReconstructPath expands Results[i]'s answers when
+	// Params.TrackPaths was set.
+	PerSource []*ssrp.PerSource
+	// Prov is the shared §8 provenance plane (nil unless tracking).
+	Prov *Provenance
+	// Stats holds the observability counters.
+	Stats *Stats
 }
 
 // Solve computes all replacement path lengths from every source.
 // Results are returned in source order.
-func Solve(g *graph.Graph, sources []int32, p Params) ([]*rp.Result, *Stats, error) {
+func Solve(g *graph.Graph, sources []int32, p Params) (*Solution, error) {
 	if err := checkPackable(g.NumVertices(), g.NumEdges()); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	sh, err := ssrp.NewShared(g, sources, p)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	return SolveShared(sh)
 }
@@ -125,7 +152,7 @@ func Solve(g *graph.Graph, sources []int32, p Params) ([]*rp.Result, *Stats, err
 // callers that keep a long-lived ssrp.Shared (the public Oracle) do
 // not pay the Õ(m√(nσ)) landmark stage twice. Deterministic in the
 // Shared alone: repeated calls return bit-identical results.
-func SolveShared(sh *ssrp.Shared) ([]*rp.Result, *Stats, error) {
+func SolveShared(sh *ssrp.Shared) (*Solution, error) {
 	return SolveSharedContext(context.Background(), sh)
 }
 
@@ -136,13 +163,23 @@ func SolveShared(sh *ssrp.Shared) ([]*rp.Result, *Stats, error) {
 // flight, not by the full σ-source run. A cancelled solve mutates no
 // state reachable from sh (the center-family RNG derivation is
 // idempotent), so retrying on the same Shared stays bit-identical.
-func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) ([]*rp.Result, *Stats, error) {
+//
+// With Params.TrackPaths the solve additionally retains the provenance
+// plane — each source's §7.1 witness snapshot is taken between its
+// seed-shard enumeration and ReleasePathState (in both the pipelined
+// and barrier schedules, so the Θ(P·aux) pre-merge peak of the
+// untracked pipelined solve is untouched), the §8.1/§8.2.2 parent
+// chains and the seed table are kept, and every PerSource gets the
+// plane installed as its landmark-path expander. Tracking is purely
+// observational: lengths are bit-identical with it on or off, at any
+// worker count, in either schedule.
+func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) (*Solution, error) {
 	g, sources, p := sh.G, sh.Sources, sh.Params
 	if err := checkPackable(g.NumVertices(), g.NumEdges()); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	stats := &Stats{Stats: *sh.NewStats()}
 
@@ -178,6 +215,7 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) ([]*rp.Result, *St
 	buildOne := func(i int, sc *engine.Scratch) {
 		start := time.Now()
 		ps := sh.NewPerSource(sources[i])
+		ps.TrackPaths = p.TrackPaths
 		ps.BuildSmallNearScratch(sc)
 		perSrc[i] = ps
 		scs[i] = buildSourceCenter(ps, ctr, sc)
@@ -187,6 +225,13 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) ([]*rp.Result, *St
 	enumerateOne := func(i int, sc *engine.Scratch) {
 		start := time.Now()
 		shards[i] = buildSeedShard(perSrc[i], ctr, sc)
+		if p.TrackPaths {
+			// The compact witness snapshot is taken between the shard
+			// enumeration (the last consumer of the full path state)
+			// and the release below, in both schedules — the retained
+			// provenance plane, not a path-state leak.
+			perSrc[i].Snap = perSrc[i].Small.SnapshotProvenance()
+		}
 		liveSeedPathBytes.Add(-perSrc[i].Small.ReleasePathState())
 		enumNanos.Add(time.Since(start).Nanoseconds())
 	}
@@ -202,7 +247,7 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) ([]*rp.Result, *St
 		err = sh.Pool.PipelineScratchCtx(ctx, len(sources), buildOne, enumerateOne)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	for i := range perSrc {
 		stats.AuxNodes += int64(perSrc[i].Small.NumNodes)
@@ -222,7 +267,7 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) ([]*rp.Result, *St
 	stats.SeedCount = seed.Len()
 	stats.SeedRehashes = seedRehashes
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	clStart := time.Now()
 	cl := buildCenterLandmark(sh, ctr, seed)
@@ -230,7 +275,7 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) ([]*rp.Result, *St
 	stats.CLNodes = cl.NumNodes
 	stats.CLArcs = cl.NumArcs
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	// Assembly + sweeps + final combine: independent per source again,
@@ -259,7 +304,7 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) ([]*rp.Result, *St
 		}
 		results[i] = ps.Combine(&pss[i].combine)
 	}); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	stats.StageAssembly = time.Duration(assembleNanos.Load())
 	for i := range pss {
@@ -273,7 +318,15 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) ([]*rp.Result, *St
 		stats.FarScans += pss[i].combine.FarScans
 		stats.NearLargeScans += pss[i].combine.NearLargeScans
 	}
-	return results, stats, nil
+	sol := &Solution{Results: results, PerSource: perSrc, Stats: stats}
+	if p.TrackPaths {
+		sol.Prov = newProvenance(sh, ctr, perSrc, scs, cl, seed)
+		stats.ProvenanceBytes = sol.Prov.Bytes()
+		for _, ps := range perSrc {
+			stats.ProvenanceBytes += ps.ProvenanceBytes()
+		}
+	}
+	return sol, nil
 }
 
 // maxInto raises *peak to v if v is larger (CAS loop; concurrent

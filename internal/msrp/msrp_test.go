@@ -21,9 +21,19 @@ func testParams(seed uint64) Params {
 	return p
 }
 
+// solveT is the legacy 3-tuple shape of Solve, kept as a test shim so
+// the pre-Solution assertions read unchanged.
+func solveT(g *graph.Graph, sources []int32, p Params) ([]*rp.Result, *Stats, error) {
+	sol, err := Solve(g, sources, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sol.Results, sol.Stats, nil
+}
+
 func requireExact(t *testing.T, g *graph.Graph, sources []int32, p Params) {
 	t.Helper()
-	got, _, err := Solve(g, sources, p)
+	got, _, err := solveT(g, sources, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +105,7 @@ func TestBarbellMultiSource(t *testing.T) {
 
 func TestTreeAllInf(t *testing.T) {
 	g := graph.Caterpillar(6, 2)
-	got, _, err := Solve(g, []int32{0, 5}, testParams(8))
+	got, _, err := solveT(g, []int32{0, 5}, testParams(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +138,7 @@ func TestSigmaOneMatchesSSRP(t *testing.T) {
 	rng := xrand.New(10)
 	g := graph.RandomConnected(rng, 60, 140)
 	p := testParams(11)
-	gotM, _, err := Solve(g, []int32{7}, p)
+	gotM, _, err := solveT(g, []int32{7}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +169,7 @@ func TestSoundnessAtPaperConstants(t *testing.T) {
 		}
 		p := DefaultParams()
 		p.Seed = uint64(trial) + 40
-		got, _, err := Solve(g, sources, p)
+		got, _, err := solveT(g, sources, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +192,7 @@ func TestSoundnessAtPaperConstants(t *testing.T) {
 
 func TestStatsPopulated(t *testing.T) {
 	g := graph.Cycle(60)
-	_, stats, err := Solve(g, []int32{0, 30}, testParams(13))
+	_, stats, err := solveT(g, []int32{0, 30}, testParams(13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,13 +209,13 @@ func TestStatsPopulated(t *testing.T) {
 
 func TestInvalidInputs(t *testing.T) {
 	g := graph.Cycle(6)
-	if _, _, err := Solve(g, nil, DefaultParams()); err == nil {
+	if _, _, err := solveT(g, nil, DefaultParams()); err == nil {
 		t.Fatal("no sources accepted")
 	}
-	if _, _, err := Solve(g, []int32{0, 0}, DefaultParams()); err == nil {
+	if _, _, err := solveT(g, []int32{0, 0}, DefaultParams()); err == nil {
 		t.Fatal("duplicate sources accepted")
 	}
-	if _, _, err := Solve(g, []int32{9}, DefaultParams()); err == nil {
+	if _, _, err := solveT(g, []int32{9}, DefaultParams()); err == nil {
 		t.Fatal("out-of-range source accepted")
 	}
 }
@@ -213,11 +223,11 @@ func TestInvalidInputs(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	g := graph.CycleWithChords(xrand.New(20), 50, 5)
 	p := testParams(21)
-	a, _, err := Solve(g, []int32{0, 20}, p)
+	a, _, err := solveT(g, []int32{0, 20}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := Solve(g, []int32{0, 20}, p)
+	b, _, err := solveT(g, []int32{0, 20}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +364,7 @@ func TestParallelDeterminism(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		p := testParams(51)
 		p.Parallelism = workers
-		res, stats, err := Solve(g, sources, p)
+		res, stats, err := solveT(g, sources, p)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -69,7 +69,7 @@ func solveSchedule(t *testing.T, g *graph.Graph, sources []int32, par int, barri
 	p := testParams(77)
 	p.Parallelism = par
 	p.BarrierPipeline = barrier
-	results, stats, err := Solve(g, sources, p)
+	results, stats, err := solveT(g, sources, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,11 @@ type sourceCenter struct {
 	start map[int32]int32
 	rows  map[int32][]int32
 
+	// prov retains the G_s parent chains and node decode tables under
+	// Params.TrackPaths, so the provenance plane can expand a d(s,c,e)
+	// value into the concrete walk its Dijkstra found. nil otherwise.
+	prov *auxProv
+
 	// Aux-graph size counters for the E9 experiment.
 	NumNodes int
 	NumArcs  int
@@ -150,6 +155,26 @@ func buildSourceCenter(ps *ssrp.PerSource, ctr *Centers, scr *engine.Scratch) *s
 			}
 		}
 		sc.rows[in.c] = row
+	}
+	if ps.TrackPaths {
+		ap := &auxProv{
+			parent:  append([]int32(nil), res.Parent...),
+			nodeOwn: make([]int32, total),
+			nodeIdx: make([]int32, total),
+			base:    make(map[int32]int32, len(infos)),
+			start:   make(map[int32]int32, len(infos)),
+		}
+		ap.nodeOwn[0], ap.nodeIdx[0] = -1, -1
+		for idx := range infos {
+			in := &infos[idx]
+			ap.nodeOwn[in.node], ap.nodeIdx[in.node] = in.c, -1
+			ap.base[in.c], ap.start[in.c] = in.base, in.start
+			for off := int32(0); off < in.count; off++ {
+				ap.nodeOwn[in.base+off] = in.c
+				ap.nodeIdx[in.base+off] = in.start + off
+			}
+		}
+		sc.prov = ap
 	}
 	return sc
 }

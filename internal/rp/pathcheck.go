@@ -1,0 +1,78 @@
+package rp
+
+import (
+	"fmt"
+
+	"msrp/internal/graph"
+)
+
+// CheckReplacementPath machine-verifies a reconstructed replacement
+// path: it must be a real walk in G − e from s to t (every step an
+// existing edge, none of them the avoided edge e) of exactly want
+// edges. A path that passes is a certificate of the reported length's
+// soundness; the exactness half is the caller's cross-check against a
+// brute-force oracle. Returns nil on success.
+func CheckReplacementPath(g *graph.Graph, path []int32, s, t, e int32, want int32) error {
+	if len(path) == 0 {
+		return fmt.Errorf("empty path")
+	}
+	if path[0] != s || path[len(path)-1] != t {
+		return fmt.Errorf("endpoints %d…%d, want %d…%d", path[0], path[len(path)-1], s, t)
+	}
+	if int32(len(path)-1) != want {
+		return fmt.Errorf("path has %d edges, reported length is %d", len(path)-1, want)
+	}
+	for j := 0; j+1 < len(path); j++ {
+		id, ok := g.EdgeID(int(path[j]), int(path[j+1]))
+		if !ok {
+			return fmt.Errorf("step %d: {%d,%d} is not an edge", j, path[j], path[j+1])
+		}
+		if id == e {
+			return fmt.Errorf("step %d: path uses the avoided edge {%d,%d}", j, path[j], path[j+1])
+		}
+	}
+	return nil
+}
+
+// VerifyReconstructions machine-verifies a result's reconstructions:
+// for every (target, path-edge) answer — targets advanced by stride
+// (1 = all; larger strides sample for cost-bounded harnesses) —
+// reconstruct must return a CheckReplacementPath-valid walk for finite
+// answers and nil for NoPath ones. Returns the number of verified
+// finite paths and a description per failure. One implementation
+// shared by the crosscheck suite, cmd/msrp-verify, and experiment E15,
+// so the iteration contract (PathEdgesTo indexing, the NoPath↔nil
+// pairing) lives in exactly one place.
+func VerifyReconstructions(g *graph.Graph, res *Result, stride int32,
+	reconstruct func(t int32, i int) ([]int32, error)) (verified int, failures []string) {
+	if stride < 1 {
+		stride = 1
+	}
+	for t := int32(0); t < int32(g.NumVertices()); t += stride {
+		if len(res.Len[t]) == 0 {
+			continue
+		}
+		edges := res.Tree.PathEdgesTo(t)
+		for i, want := range res.Len[t] {
+			path, err := reconstruct(t, i)
+			fail := func(e error) {
+				failures = append(failures, fmt.Sprintf("s=%d t=%d i=%d: %v", res.Source, t, i, e))
+			}
+			switch {
+			case err != nil:
+				fail(err)
+			case want == Inf:
+				if path != nil {
+					fail(fmt.Errorf("path returned for a NoPath answer"))
+				}
+			default:
+				if err := CheckReplacementPath(g, path, res.Source, t, edges[i], want); err != nil {
+					fail(err)
+				} else {
+					verified++
+				}
+			}
+		}
+	}
+	return verified, failures
+}

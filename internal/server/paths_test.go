@@ -1,0 +1,211 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"msrp"
+)
+
+func decodeJSON(t *testing.T, rec *httptest.ResponseRecorder, v any) {
+	t.Helper()
+	if err := json.Unmarshal(rec.Body.Bytes(), v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTrackedServer is newTestServer with path provenance recorded, so
+// "paths": true items can be served.
+func newTrackedServer(t *testing.T, cfg Config) (*Server, *msrp.Oracle, *msrp.Graph, []int) {
+	t.Helper()
+	g := msrp.GenerateRandomConnected(7, 60, 160)
+	sources := []int{0, 15, 30, 45}
+	opts := msrp.DefaultOptions()
+	opts.SampleBoost = 8
+	opts.Parallelism = 2
+	opts.TrackPaths = true
+	oracle, err := msrp.NewOracle(g, sources, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(oracle, cfg), oracle, g, sources
+}
+
+// checkWirePath validates a path that came over the wire: right
+// endpoints, every step a real edge, the avoided edge unused, length
+// exactly the reported one.
+func checkWirePath(t *testing.T, g *msrp.Graph, q QueryItem, a AnswerItem) {
+	t.Helper()
+	if len(a.Path) == 0 {
+		t.Fatalf("query %+v: no path in answer %+v", q, a)
+	}
+	if int(a.Path[0]) != q.Source || int(a.Path[len(a.Path)-1]) != q.Target {
+		t.Fatalf("query %+v: path endpoints %d…%d", q, a.Path[0], a.Path[len(a.Path)-1])
+	}
+	if int32(len(a.Path)-1) != a.Length {
+		t.Fatalf("query %+v: path has %d edges, length says %d", q, len(a.Path)-1, a.Length)
+	}
+	for j := 0; j+1 < len(a.Path); j++ {
+		u, v := int(a.Path[j]), int(a.Path[j+1])
+		if !g.HasEdge(u, v) {
+			t.Fatalf("query %+v: step {%d,%d} is not an edge", q, u, v)
+		}
+		if (u == q.U && v == q.V) || (u == q.V && v == q.U) {
+			t.Fatalf("query %+v: path uses the avoided edge", q)
+		}
+	}
+}
+
+func TestQueryEndpointPaths(t *testing.T) {
+	srv, oracle, g, sources := newTrackedServer(t, Config{})
+	items := validQueries(t, oracle, sources)
+	for i := range items {
+		items[i].Paths = true
+	}
+
+	rec := postJSON(t, srv, "/v1/query", QueryRequest{Queries: items})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp QueryResponse
+	decodeJSON(t, rec, &resp)
+	if len(resp.Answers) != len(items) {
+		t.Fatalf("%d answers for %d queries", len(resp.Answers), len(items))
+	}
+	for i, a := range resp.Answers {
+		if a.Error != "" || a.PathError != "" {
+			t.Fatalf("answer %d: %+v", i, a)
+		}
+		if a.NoPath {
+			if a.Path != nil {
+				t.Fatalf("answer %d: path on a NoPath answer", i)
+			}
+			continue
+		}
+		checkWirePath(t, g, items[i], a)
+	}
+}
+
+func TestQueryEndpointPathsUntracked400(t *testing.T) {
+	srv, oracle, sources := newTestServer(t, Config{}) // no TrackPaths
+	items := validQueries(t, oracle, sources)[:1]
+	items[0].Paths = true
+
+	rec := postJSON(t, srv, "/v1/query", QueryRequest{Queries: items})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (body %s)", rec.Code, rec.Body)
+	}
+	var resp QueryResponse
+	decodeJSON(t, rec, &resp)
+	if resp.Error == "" || resp.Answers[0].Error == "" {
+		t.Fatalf("expected the not-tracked error on the wire, got %+v", resp)
+	}
+}
+
+func TestQueryEndpointPathBudget(t *testing.T) {
+	// A 2-vertex budget admits no replacement path (every one has ≥ 2
+	// edges ⇒ ≥ 3 vertices), so each answer keeps its length and
+	// reports the budget, not a truncated path.
+	srv, oracle, _, sources := newTrackedServer(t, Config{MaxPathVertices: 2})
+	items := validQueries(t, oracle, sources)
+	for i := range items {
+		items[i].Paths = true
+	}
+
+	rec := postJSON(t, srv, "/v1/query", QueryRequest{Queries: items})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp QueryResponse
+	decodeJSON(t, rec, &resp)
+	sawBudget := false
+	for i, a := range resp.Answers {
+		if a.Error != "" {
+			t.Fatalf("answer %d: %+v", i, a)
+		}
+		if a.NoPath {
+			continue
+		}
+		if a.Path != nil {
+			t.Fatalf("answer %d: path granted past the vertex budget", i)
+		}
+		if a.PathError == "" || a.Length <= 0 {
+			t.Fatalf("answer %d: want length + pathError, got %+v", i, a)
+		}
+		sawBudget = true
+	}
+	if !sawBudget {
+		t.Fatal("no answer exercised the path budget")
+	}
+}
+
+// TestQueryEndpointTargetOutOfRange: a wild target must come back as a
+// per-item error (the batch still answers), never as an index panic
+// killing the connection.
+func TestQueryEndpointTargetOutOfRange(t *testing.T) {
+	srv, _, _, sources := newTrackedServer(t, Config{})
+	items := []QueryItem{
+		{Source: sources[0], Target: 1 << 20, U: 0, V: 1, Paths: true},
+		{Source: sources[0], Target: -7, U: 0, V: 1},
+	}
+	rec := postJSON(t, srv, "/v1/query", QueryRequest{Queries: items})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp QueryResponse
+	decodeJSON(t, rec, &resp)
+	for i, a := range resp.Answers {
+		if a.Error == "" || a.Path != nil {
+			t.Fatalf("answer %d: want per-item out-of-range error, got %+v", i, a)
+		}
+	}
+}
+
+func TestDeriveRetryAfter(t *testing.T) {
+	sec := func(d time.Duration) msrp.StageTimes {
+		return msrp.StageTimes{PerSourceBuild: d}
+	}
+	cases := []struct {
+		name    string
+		st      msrp.OracleStats
+		sources int
+		want    time.Duration
+	}{
+		{"nothing measured", msrp.OracleStats{}, 4, time.Second},
+		{"lazy average", msrp.OracleStats{Builds: 4, BuildTime: 8 * time.Second}, 4, 2 * time.Second},
+		{"lazy sub-second floors", msrp.OracleStats{Builds: 10, BuildTime: time.Second}, 4, time.Second},
+		{"warm per-source stages divide by sigma", msrp.OracleStats{WarmStages: sec(8 * time.Second)}, 4, 2 * time.Second},
+		{"warm barrier stages at full weight", msrp.OracleStats{
+			WarmStages: msrp.StageTimes{SeedMerge: 2 * time.Second, CenterLandmark: 3 * time.Second},
+		}, 4, 5 * time.Second},
+		{"warm beats lazy", msrp.OracleStats{
+			Builds: 1, BuildTime: 20 * time.Second,
+			WarmStages: sec(8 * time.Second),
+		}, 4, 2 * time.Second},
+		{"clamped at 30s", msrp.OracleStats{WarmStages: sec(10 * time.Minute)}, 2, 30 * time.Second},
+	}
+	for _, c := range cases {
+		if got := DeriveRetryAfter(c.st, c.sources); got != c.want {
+			t.Errorf("%s: DeriveRetryAfter = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterHeaderDerived exercises the auto mode end to end: with
+// nothing measured the rejection advertises the 1s floor, and the
+// header is always a positive integer.
+func TestRetryAfterHeaderDerived(t *testing.T) {
+	srv, _, _, _ := newTrackedServer(t, Config{MaxWarms: 1})
+	// Fill the single warm slot so a second warm rejects.
+	srv.warms <- struct{}{}
+	rec := postJSON(t, srv, "/v1/warm", struct{}{})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want the 1s floor before any measurement", got)
+	}
+}

@@ -50,12 +50,25 @@ type Config struct {
 	MaxWarms int
 
 	// RetryAfter is the backoff advertised in the Retry-After header of
-	// 429 responses. 0 means 1 second.
+	// 429 responses. 0 (the default) derives it per rejection from the
+	// oracle's measured build latencies — the most recent Warm
+	// pipeline's stage breakdown, falling back to the lazy-build
+	// average — via DeriveRetryAfter; a positive value pins a constant.
 	RetryAfter time.Duration
 
 	// MaxBodyBytes caps the /v1/query request body (http.MaxBytesReader).
 	// 0 means 8 MiB; negative disables the cap.
 	MaxBodyBytes int64
+
+	// MaxPathVertices caps the total number of path vertices one
+	// /v1/query response may carry. The "paths": true expansions are
+	// granted in request order with prefix semantics: the first path
+	// that does not fit exhausts the budget, and it plus every later
+	// path-requesting answer keeps its length but reports pathError
+	// instead of a path — so a client resumes from the first pathError.
+	// 0 means 131072 vertices (≈ 1 MiB of JSON); negative disables the
+	// cap.
+	MaxPathVertices int
 }
 
 // Server is an http.Handler serving one Oracle. Construct with New.
@@ -63,10 +76,12 @@ type Server struct {
 	oracle *msrp.Oracle
 	mux    *http.ServeMux
 
-	retryAfter string        // preformatted Retry-After header value
-	maxBody    int64         // /v1/query body cap (0 = uncapped)
-	queries    chan struct{} // in-flight /v1/query slots (nil = unbounded)
-	warms      chan struct{} // in-flight /v1/warm slots (nil = unbounded)
+	retryAfter   string        // preformatted Retry-After value ("" = derive)
+	maxBody      int64         // /v1/query body cap (0 = uncapped)
+	maxPathVerts int           // per-response path-vertex budget (0 = uncapped)
+	numSources   int           // cached σ (the oracle's source set is immutable)
+	queries      chan struct{} // in-flight /v1/query slots (nil = unbounded)
+	warms        chan struct{} // in-flight /v1/warm slots (nil = unbounded)
 }
 
 // New wraps the oracle in an HTTP front-end with the given admission
@@ -84,21 +99,27 @@ func New(o *msrp.Oracle, cfg Config) *Server {
 	if maxWarms == 0 {
 		maxWarms = 1
 	}
-	retryAfter := cfg.RetryAfter
-	if retryAfter <= 0 {
-		retryAfter = time.Second
-	}
 	maxBody := cfg.MaxBodyBytes
 	if maxBody == 0 {
 		maxBody = 8 << 20
 	} else if maxBody < 0 {
 		maxBody = 0
 	}
+	maxPathVerts := cfg.MaxPathVertices
+	if maxPathVerts == 0 {
+		maxPathVerts = 128 << 10
+	} else if maxPathVerts < 0 {
+		maxPathVerts = 0
+	}
 	s := &Server{
-		oracle:     o,
-		mux:        http.NewServeMux(),
-		retryAfter: fmt.Sprintf("%d", int((retryAfter+time.Second-1)/time.Second)),
-		maxBody:    maxBody,
+		oracle:       o,
+		mux:          http.NewServeMux(),
+		maxBody:      maxBody,
+		maxPathVerts: maxPathVerts,
+		numSources:   len(o.Sources()),
+	}
+	if cfg.RetryAfter > 0 {
+		s.retryAfter = formatRetryAfter(cfg.RetryAfter)
 	}
 	if maxInFlight > 0 {
 		s.queries = make(chan struct{}, maxInFlight)
@@ -133,23 +154,75 @@ func acquire(sem chan struct{}) (release func(), ok bool) {
 	}
 }
 
-// reject emits a 429 with the configured Retry-After and records the
-// rejection on the oracle's stats.
+// reject emits a 429 and records the rejection on the oracle's stats.
+// The Retry-After header is the configured constant when one was
+// pinned, else derived per rejection from the oracle's measured build
+// latencies (the load-shedding decision the ROADMAP wanted driven by
+// measurements rather than a static default).
 func (s *Server) reject(w http.ResponseWriter, what string) {
 	s.oracle.RecordRejection()
-	w.Header().Set("Retry-After", s.retryAfter)
+	retry := s.retryAfter
+	if retry == "" {
+		retry = formatRetryAfter(DeriveRetryAfter(s.oracle.Stats(), s.numSources))
+	}
+	w.Header().Set("Retry-After", retry)
 	writeJSON(w, http.StatusTooManyRequests, map[string]string{
 		"error": what + " capacity exhausted; retry later",
 	})
 }
 
+// DeriveRetryAfter converts an oracle's measured latencies into the
+// backoff a rejected caller should observe — an estimate of how long a
+// capacity slot takes to free. Preference order:
+//
+//  1. The most recent Warm pipeline's stage breakdown: the per-source
+//     stages (build, seed enumeration, assembly) divided by σ — they
+//     are wall time summed over sources — plus the barriered merge and
+//     center stages at full weight. This is the serving-path
+//     measurement the stage-latency plumbing exists for.
+//  2. The lazy-build average (AvgBuildLatency) before any warm has
+//     completed.
+//  3. One second when nothing has been measured yet.
+//
+// The estimate is clamped to [1s, 30s]: the floor keeps the header
+// meaningful for sub-second builds, the ceiling keeps a pathological
+// measurement from parking clients.
+func DeriveRetryAfter(st msrp.OracleStats, sources int) time.Duration {
+	var est time.Duration
+	if sources > 0 {
+		w := st.WarmStages
+		est = (w.PerSourceBuild+w.SeedEnumerate+w.Assembly)/time.Duration(sources) +
+			w.SeedMerge + w.CenterLandmark
+	}
+	if est <= 0 {
+		est = st.AvgBuildLatency()
+	}
+	if est < time.Second {
+		return time.Second
+	}
+	if est > 30*time.Second {
+		return 30 * time.Second
+	}
+	return est
+}
+
+// formatRetryAfter renders a duration as the header's whole seconds,
+// rounding up.
+func formatRetryAfter(d time.Duration) string {
+	return fmt.Sprintf("%d", int((d+time.Second-1)/time.Second))
+}
+
 // QueryItem is one replacement-path question on the wire: the length
-// of the shortest source→target path avoiding the edge {u, v}.
+// of the shortest source→target path avoiding the edge {u, v}. With
+// "paths": true the answer also carries the concrete replacement path
+// (the oracle must serve with TrackPaths, else the item gets a 400-
+// mapped error), subject to the response's path-vertex budget.
 type QueryItem struct {
-	Source int `json:"source"`
-	Target int `json:"target"`
-	U      int `json:"u"`
-	V      int `json:"v"`
+	Source int  `json:"source"`
+	Target int  `json:"target"`
+	U      int  `json:"u"`
+	V      int  `json:"v"`
+	Paths  bool `json:"paths,omitempty"`
 }
 
 // QueryRequest is the /v1/query request body.
@@ -159,11 +232,20 @@ type QueryRequest struct {
 
 // AnswerItem is one answer on the wire. NoPath marks the avoided edge
 // as a bridge (Length is then meaningless); Error marks a malformed
-// query (unknown source, missing edge, edge off the canonical path).
+// query (unknown source, missing edge, edge off the canonical path, or
+// paths requested from an untracked oracle). Path is the replacement
+// path's vertex sequence when the item requested it: a certificate —
+// a real walk in G−e of exactly Length edges. PathError is set instead
+// of Path when the response's path-vertex budget ran out at or before
+// this item (its Length is still valid); granted paths are always a
+// prefix of the requested ones, so a client resumes from the first
+// pathError.
 type AnswerItem struct {
-	Length int32  `json:"length"`
-	NoPath bool   `json:"noPath,omitempty"`
-	Error  string `json:"error,omitempty"`
+	Length    int32   `json:"length"`
+	NoPath    bool    `json:"noPath,omitempty"`
+	Path      []int32 `json:"path,omitempty"`
+	PathError string  `json:"pathError,omitempty"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // QueryResponse is the /v1/query response body. Answers align with the
@@ -202,7 +284,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	queries := make([]msrp.Query, len(req.Queries))
 	for i, q := range req.Queries {
-		queries[i] = msrp.Query{Source: q.Source, Target: q.Target, U: q.U, V: q.V}
+		queries[i] = msrp.Query{Source: q.Source, Target: q.Target, U: q.U, V: q.V, Paths: q.Paths}
 	}
 	answers, err := s.oracle.QueryBatchContext(r.Context(), queries)
 	if err != nil {
@@ -214,14 +296,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	resp := QueryResponse{Answers: make([]AnswerItem, len(answers))}
 	status := http.StatusOK
+	pathBudget := s.maxPathVerts
 	for i, a := range answers {
 		switch {
 		case a.Err != nil:
 			resp.Answers[i].Error = a.Err.Error()
-			// The sentinel (not string matching) decides the status: a
-			// query for a vertex outside the oracle's source set is a
-			// client error, not an empty result.
-			if errors.Is(a.Err, msrp.ErrNotSource) {
+			// The sentinels (not string matching) decide the status: a
+			// query for a vertex outside the oracle's source set — or
+			// for paths this deployment does not track — is a client
+			// error, not an empty result.
+			if errors.Is(a.Err, msrp.ErrNotSource) || errors.Is(a.Err, msrp.ErrPathsNotTracked) {
 				status = http.StatusBadRequest
 				if resp.Error == "" {
 					resp.Error = a.Err.Error()
@@ -231,6 +315,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Answers[i].NoPath = true
 		default:
 			resp.Answers[i].Length = a.Length
+			if a.Path == nil {
+				break
+			}
+			// Paths are granted in request order against one response-
+			// wide vertex budget, with prefix semantics: the first path
+			// that does not fit exhausts the budget, so granted paths
+			// are exactly a prefix of the requested ones and a client
+			// can resume from the first pathError. A skipped item keeps
+			// its length.
+			if s.maxPathVerts > 0 && len(a.Path) > pathBudget {
+				pathBudget = 0
+				resp.Answers[i].PathError = "path vertex budget exceeded; re-request paths from this item on"
+				continue
+			}
+			pathBudget -= len(a.Path)
+			resp.Answers[i].Path = a.Path
 		}
 	}
 	writeJSON(w, status, resp)
@@ -283,6 +383,7 @@ type StatsResponse struct {
 	CachedSources    int     `json:"cachedSources"`
 	Sources          int     `json:"sources"`
 	MaxCachedSources int     `json:"maxCachedSources"`
+	ProvenanceBytes  int64   `json:"provenanceBytes"`
 
 	// Stage-latency breakdown of the most recent completed warm (zero
 	// before any) and its peak live §7.1 path-expansion state — the
@@ -319,8 +420,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejections:       st.Rejections,
 		Cancellations:    st.Cancellations,
 		CachedSources:    s.oracle.CachedSources(),
-		Sources:          len(s.oracle.Sources()),
+		Sources:          s.numSources,
 		MaxCachedSources: s.oracle.Options().MaxCachedSources,
+		ProvenanceBytes:  st.ProvenanceBytes,
 
 		WarmStageBuildMillis:          millis(st.WarmStages.PerSourceBuild),
 		WarmStageSeedEnumerateMillis:  millis(st.WarmStages.SeedEnumerate),

@@ -60,6 +60,16 @@ type Params struct {
 	// the pipelined Θ(P·aux) — which Stats.PeakSeedPathBytes measures.
 	BarrierPipeline bool
 
+	// TrackPaths records provenance during the solve — one entry per
+	// answer plus the compact per-source witness snapshots — so
+	// PerSource.ReconstructPath can expand any finite answer into a
+	// concrete replacement path. Supported by both the single-source
+	// pipeline (classic crossing-edge witnesses) and the multi-source §8
+	// pipeline (the provenance plane in internal/msrp). Lengths are
+	// bit-identical with tracking on or off: tracking only observes the
+	// solve, it never steers it.
+	TrackPaths bool
+
 	// PaperBottleneck selects the paper's literal §8.3 assembly in the
 	// multi-source solver (bottleneck edges + the §8.3.2 auxiliary
 	// graph, no fixpoint sweeps) instead of the default sound
@@ -88,6 +98,12 @@ func (p Params) Validate() error {
 	}
 	if p.SuffixScale <= 0 {
 		return fmt.Errorf("%w: SuffixScale = %v", ErrBadParams, p.SuffixScale)
+	}
+	if p.TrackPaths && p.PaperBottleneck {
+		// The §8.3 bottleneck assembly has no provenance plane (its
+		// sr ⋄ B values come from the §8.3.2 graph, which is
+		// build-run-discard); the default assembly is the tracked mode.
+		return fmt.Errorf("%w: TrackPaths is not supported with PaperBottleneck", ErrBadParams)
 	}
 	return nil
 }

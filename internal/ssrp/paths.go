@@ -2,28 +2,29 @@ package ssrp
 
 import (
 	"fmt"
-
-	"msrp/internal/classic"
 )
 
-// Path reconstruction: when Params.TrackPaths is set, the single-source
-// solver records, for every (target, path-edge) answer, *which*
-// candidate won — enough to expand the actual replacement path on
-// demand. The paper computes lengths only; reconstruction is this
-// implementation's extension, and it powers the fault-tolerant
-// preserver (internal/preserver) and a second layer of validation
-// (an expanded path whose length matches the reported length *is* a
-// certificate of soundness).
+// Path reconstruction: when Params.TrackPaths is set, the solvers
+// record, for every (target, path-edge) answer, *which* candidate won —
+// enough to expand the actual replacement path on demand. The paper
+// computes lengths only; reconstruction is this implementation's
+// extension, and it powers the fault-tolerant preserver
+// (internal/preserver), the serving layer's path queries, and a second
+// layer of validation (an expanded path whose length matches the
+// reported length *is* a certificate of soundness).
 //
 // Provenance kinds mirror the candidate sources in Combine:
 //
-//	provSmall  — the §7.1 auxiliary-graph value; the Dijkstra
-//	             predecessor chain expands it.
+//	provSmall  — the §7.1 auxiliary-graph value; expanded from the
+//	             immutable witness snapshot (ProvSnapshot), so it keeps
+//	             working after the heavy path state is released.
 //	provVia    — d(s,r,e) + d(r,t) through landmark r (Algorithm 3 or
-//	             4); expands to the (s,r,e) replacement path (a classic
-//	             crossing-edge witness, or the canonical s→r path when
-//	             e is off it) followed by the canonical r→t path.
-//	provDirect — a landmark target served by its own classic row.
+//	             4); expands to a d(s,r,e)-realizing path (a classic
+//	             crossing-edge witness in the single-source pipeline,
+//	             the §8 provenance plane in the multi-source one, or the
+//	             canonical s→r path when e is off it) followed by the
+//	             canonical r→t path.
+//	provDirect — a landmark target served by its own LenSR row.
 const (
 	provNone int8 = iota
 	provSmall
@@ -44,7 +45,7 @@ func (ps *PerSource) ReconstructPath(t int32, i int) ([]int32, error) {
 	if !ps.TrackPaths {
 		return nil, fmt.Errorf("ssrp: Params.TrackPaths was not enabled")
 	}
-	if ps.prov == nil || int(t) >= len(ps.prov) || i >= len(ps.prov[t]) {
+	if ps.prov == nil || t < 0 || int(t) >= len(ps.prov) || i < 0 || i >= len(ps.prov[t]) {
 		return nil, fmt.Errorf("ssrp: no provenance for t=%d i=%d", t, i)
 	}
 	entry := ps.prov[t][i]
@@ -52,19 +53,40 @@ func (ps *PerSource) ReconstructPath(t int32, i int) ([]int32, error) {
 	case provNone:
 		return nil, nil // Inf: no replacement path
 	case provSmall:
-		return ps.Small.PathVertices(t, i), nil
+		if ps.Snap == nil {
+			return nil, fmt.Errorf("ssrp: provenance snapshot missing for t=%d i=%d (bug: solver did not SnapshotProvenance)", t, i)
+		}
+		return ps.Snap.PathVertices(t, i), nil
 	case provDirect:
-		w := ps.witness[t][i]
-		return w.BuildPath(ps.Ts, ps.Sh.Tree[t]), nil
+		return ps.landmarkPrefix(t, i)
 	case provVia:
 		return ps.reconstructVia(entry.r, t, i)
 	}
 	return nil, fmt.Errorf("ssrp: unknown provenance kind %d", entry.kind)
 }
 
+// landmarkPrefix expands a d(s,r,e_i)-realizing path (the LenSR[r][i]
+// value): through the installed multi-source provenance plane when one
+// is set, else through the classic crossing-edge witnesses the
+// single-source pipeline records.
+func (ps *PerSource) landmarkPrefix(r int32, i int) ([]int32, error) {
+	if ps.landmarkPath != nil {
+		return ps.landmarkPath(r, i)
+	}
+	ws := ps.witness[r]
+	if ws == nil || i >= len(ws) {
+		return nil, fmt.Errorf("ssrp: missing witness for landmark %d index %d", r, i)
+	}
+	p := ws[i].BuildPath(ps.Ts, ps.Sh.Tree[r])
+	if p == nil {
+		return nil, fmt.Errorf("ssrp: provenance via landmark %d but witness is no-path", r)
+	}
+	return p, nil
+}
+
 // reconstructVia expands d(s,r,e) + canonical(r→t).
 func (ps *PerSource) reconstructVia(r, t int32, i int) ([]int32, error) {
-	e := ps.edgeAtIndex(t, i)
+	e := ps.EdgeAt(t, i)
 	var prefix []int32
 	switch {
 	case r == ps.S:
@@ -72,13 +94,9 @@ func (ps *PerSource) reconstructVia(r, t int32, i int) ([]int32, error) {
 	case !ps.AncS.EdgeOnRootPath(ps.Sh.G, e, r):
 		prefix = ps.Ts.PathTo(r) // canonical s→r avoids e outright
 	default:
-		ws := ps.witness[r]
-		if ws == nil || i >= len(ws) {
-			return nil, fmt.Errorf("ssrp: missing witness for landmark %d edge %d", r, i)
-		}
-		prefix = ws[i].BuildPath(ps.Ts, ps.Sh.Tree[r])
-		if prefix == nil {
-			return nil, fmt.Errorf("ssrp: provenance via landmark %d but witness is no-path", r)
+		var err error
+		if prefix, err = ps.landmarkPrefix(r, i); err != nil {
+			return nil, err
 		}
 	}
 	suffix := ps.Sh.Tree[r].PathTo(t) // r … t
@@ -88,28 +106,13 @@ func (ps *PerSource) reconstructVia(r, t int32, i int) ([]int32, error) {
 	return out, nil
 }
 
-// edgeAtIndex returns the edge id at position i of the canonical path
-// to t (O(depth) walk; reconstruction is an on-demand operation).
-func (ps *PerSource) edgeAtIndex(t int32, i int) int32 {
+// EdgeAt returns the edge id at position i of the canonical path to t
+// (O(depth) walk; reconstruction is an on-demand operation). Exposed
+// for the multi-source provenance plane, which shares the indexing.
+func (ps *PerSource) EdgeAt(t int32, i int) int32 {
 	x := t
 	for d := int(ps.Ts.Dist[t]) - 1; d > i; d-- {
 		x = ps.Ts.Parent[x]
 	}
 	return ps.Ts.ParentEdge[x]
-}
-
-// computeWitnesses fills the per-landmark classic witnesses (TrackPaths
-// mode of ComputeLenSRClassic).
-func (ps *PerSource) computeWitnesses() {
-	sh := ps.Sh
-	ps.LenSR = make(map[int32][]int32, len(sh.List))
-	ps.witness = make(map[int32][]classic.Witness, len(sh.List))
-	for _, r := range sh.List {
-		if r == ps.S || !ps.Ts.Reachable(r) {
-			continue
-		}
-		lens, wits := classic.PairWitness(sh.G, ps.Ts, sh.Tree[r], r)
-		ps.LenSR[r] = lens
-		ps.witness[r] = wits
-	}
 }

@@ -154,3 +154,87 @@ func TestPathVerticesIntoMatches(t *testing.T) {
 		t.Fatalf("buffer reused on %d of %d paths", reused, pairs)
 	}
 }
+
+// TestSnapshotMatchesLiveAndSurvivesRelease pins the ProvSnapshot
+// contract: its expansions are identical to the live SmallNear's for
+// every (target, near-edge) pair, and they keep working after
+// ReleasePathState frees the heavy state (the MSRP pipeline's memory
+// discipline), while the live expansion is then a programming error.
+func TestSnapshotMatchesLiveAndSurvivesRelease(t *testing.T) {
+	g := graph.CycleWithChords(xrand.New(12), 48, 8)
+	sh, err := NewShared(g, []int32{0}, testParams(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := sh.NewPerSource(0)
+	ps.BuildSmallNear()
+	snap := ps.Small.SnapshotProvenance()
+	if snap.Bytes() <= 0 {
+		t.Fatal("snapshot reports no bytes")
+	}
+
+	type key struct {
+		t int32
+		i int
+	}
+	want := make(map[key][]int32)
+	for tt := int32(0); tt < int32(g.NumVertices()); tt++ {
+		for i := ps.Small.NearStart(tt); i < ps.Ts.Dist[tt]; i++ {
+			live := ps.Small.PathVertices(tt, int(i))
+			got := snap.PathVertices(tt, int(i))
+			if (live == nil) != (got == nil) {
+				t.Fatalf("t=%d i=%d: live %v, snapshot %v", tt, i, live, got)
+			}
+			if live == nil {
+				continue
+			}
+			if len(live) != len(got) {
+				t.Fatalf("t=%d i=%d: live len %d, snapshot len %d", tt, i, len(live), len(got))
+			}
+			for j := range live {
+				if live[j] != got[j] {
+					t.Fatalf("t=%d i=%d: vertex %d differs (%d vs %d)", tt, i, j, live[j], got[j])
+				}
+			}
+			want[key{tt, int(i)}] = got
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("no small paths found")
+	}
+
+	ps.Small.ReleasePathState()
+	for k, w := range want {
+		got := snap.PathVertices(k.t, k.i)
+		if len(got) != len(w) {
+			t.Fatalf("after release t=%d i=%d: len %d, want %d", k.t, k.i, len(got), len(w))
+		}
+		for j := range w {
+			if got[j] != w[j] {
+				t.Fatalf("after release t=%d i=%d: vertex %d differs", k.t, k.i, j)
+			}
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("live PathVertices after release did not panic")
+			}
+		}()
+		for k := range want {
+			ps.Small.PathVertices(k.t, k.i)
+			break
+		}
+	}()
+}
+
+// TestTrackPathsRejectsPaperBottleneck: the §8.3 assembly has no
+// provenance plane, so the combination must fail fast at validation.
+func TestTrackPathsRejectsPaperBottleneck(t *testing.T) {
+	p := testParams(1)
+	p.TrackPaths = true
+	p.PaperBottleneck = true
+	if err := p.Validate(); err == nil {
+		t.Fatal("TrackPaths + PaperBottleneck validated")
+	}
+}

@@ -27,10 +27,64 @@ type PerSource struct {
 	LenSR map[int32][]int32
 
 	// TrackPaths enables provenance recording so ReconstructPath can
-	// expand answers into concrete paths (single-source mode only).
+	// expand answers into concrete paths. The single-source pipeline
+	// pairs it with classic crossing-edge witnesses; the multi-source
+	// pipeline installs its §8 provenance plane via SetLandmarkPath.
 	TrackPaths bool
-	witness    map[int32][]classic.Witness
-	prov       [][]provEntry
+
+	// Snap is the immutable §7.1 witness snapshot ReconstructPath
+	// expands small answers from. It is taken before the heavyweight
+	// path state is released (SnapshotProvenance), so reconstruction
+	// keeps working under the MSRP pipeline's memory discipline.
+	Snap *ProvSnapshot
+
+	witness map[int32][]classic.Witness
+
+	// landmarkPath, when set, expands the replacement path realizing
+	// LenSR[r][i] — an s→r walk avoiding e_i of exactly that length.
+	// The single-source solver leaves it nil (the classic witnesses in
+	// `witness` serve that role); the MSRP solver installs its §8
+	// provenance explain here.
+	landmarkPath func(r int32, i int) ([]int32, error)
+
+	prov [][]provEntry
+}
+
+// SetLandmarkPath installs the landmark-prefix expander ReconstructPath
+// uses for answers won through a landmark (the multi-source provenance
+// plane).
+func (ps *PerSource) SetLandmarkPath(fn func(r int32, i int) ([]int32, error)) {
+	ps.landmarkPath = fn
+}
+
+// ProvenanceBytes returns the per-source footprint of the retained
+// provenance state — everything a tracked result keeps alive that an
+// untracked result would have dropped: the §7.1 witness snapshot and
+// the Value-lookup plane it reads, the per-answer provenance entries,
+// the LenSR rows the explain machinery re-walks, and (single-source
+// mode) the classic witnesses. Shared preprocessing (the landmark
+// forest in Shared) is not charged: it outlives the result either way.
+func (ps *PerSource) ProvenanceBytes() int64 {
+	if !ps.TrackPaths {
+		return 0
+	}
+	var b int64
+	if ps.Snap != nil {
+		b += ps.Snap.Bytes()
+	}
+	if ps.Small != nil {
+		b += ps.Small.LookupStateBytes()
+	}
+	for _, row := range ps.prov {
+		b += int64(len(row)) * 8 // kind + landmark id, padded
+	}
+	for _, ws := range ps.witness {
+		b += int64(len(ws)) * 8 // two int32 endpoints
+	}
+	for _, row := range ps.LenSR {
+		b += 4*int64(len(row)) + 16 // row + map-entry overhead
+	}
+	return b
 }
 
 // NewPerSource prepares per-source state. The source must be one of the
@@ -65,8 +119,8 @@ func (ps *PerSource) BuildSmallNearScratch(sc *engine.Scratch) {
 // single-source strategy (§3): Õ(m+n) per landmark, Õ(m√n) total.
 // Landmarks are independent, so the runs shard across the instance
 // pool, each worker reusing one scratch for the per-landmark O(n+m)
-// working state. With TrackPaths set it also stores the crossing-edge
-// witnesses (sequentially; the single-source path only).
+// working state. With TrackPaths set each run also stores the
+// crossing-edge witnesses (same lengths, same sharding).
 func (ps *PerSource) ComputeLenSRClassic() {
 	ps.ComputeLenSRClassicPool(ps.Sh.Pool)
 }
@@ -76,23 +130,33 @@ func (ps *PerSource) ComputeLenSRClassic() {
 // builder runs whole sources in parallel — pass a sequential pool here
 // to keep the parallelism single-level.
 func (ps *PerSource) ComputeLenSRClassicPool(pool *engine.Pool) {
-	if ps.TrackPaths {
-		ps.computeWitnesses()
-		return
-	}
 	sh := ps.Sh
 	rows := make([][]int32, len(sh.List))
+	var wits [][]classic.Witness
+	if ps.TrackPaths {
+		wits = make([][]classic.Witness, len(sh.List))
+	}
 	pool.RunScratch(len(sh.List), func(i int, sc *engine.Scratch) {
 		r := sh.List[i]
 		if r == ps.S || !ps.Ts.Reachable(r) {
 			return
 		}
-		rows[i] = classic.PairScratch(sh.G, ps.Ts, sh.Tree[r], r, sc)
+		if ps.TrackPaths {
+			rows[i], wits[i] = classic.PairWitnessScratch(sh.G, ps.Ts, sh.Tree[r], r, sc)
+		} else {
+			rows[i] = classic.PairScratch(sh.G, ps.Ts, sh.Tree[r], r, sc)
+		}
 	})
 	ps.LenSR = make(map[int32][]int32, len(sh.List))
+	if ps.TrackPaths {
+		ps.witness = make(map[int32][]classic.Witness, len(sh.List))
+	}
 	for i, r := range sh.List {
 		if rows[i] != nil {
 			ps.LenSR[r] = rows[i]
+			if wits != nil {
+				ps.witness[r] = wits[i]
+			}
 		}
 	}
 }
@@ -127,6 +191,10 @@ func (ps *PerSource) dSR(r int32, i int, e int32) int32 {
 	}
 	return row[i]
 }
+
+// DSR exposes dSR for the multi-source provenance plane, which re-walks
+// the candidate space to explain a winning value.
+func (ps *PerSource) DSR(r int32, i int, e int32) int32 { return ps.dSR(r, i, e) }
 
 // Combine runs the per-target assembly (§6 far edges via Algorithm 3,
 // §7.2 near-large via Algorithm 4, §7.1 small-near lookups, plus the

@@ -168,12 +168,24 @@ func (sn *SmallNear) PathStateBytes() int64 {
 	return 4*int64(len(sn.res.Parent)) + 4*int64(len(sn.teVertex))
 }
 
+// LookupStateBytes returns the byte footprint of the Value-lookup
+// state (the Dijkstra distances and the block layout). During a solve
+// it is transient either way; a *tracked* result pins it for the
+// result's lifetime (snapshot expansion and the provenance explain
+// both read it), so the provenance accounting charges it to the plane.
+func (sn *SmallNear) LookupStateBytes() int64 {
+	return 8*int64(len(sn.res.Dist)) + 4*int64(len(sn.teBase)+len(sn.startIdx))
+}
+
 // ReleasePathState drops the path-expansion state and returns the
 // bytes freed. The MSRP pipeline calls it as soon as a source's §8.2.1
 // seed shard has been enumerated — the only consumer of PathVertices —
 // so the Θ(aux)-per-source parent chains live for P in-flight sources
 // instead of all σ. Value (and NearStart) keep working; PathVertices
-// calls afterwards are a programming error and panic.
+// calls afterwards are a programming error and panic. Under TrackPaths
+// the compact witness subset survives in the ProvSnapshot taken just
+// before the release (SnapshotProvenance adopts teVertex and copies
+// the lattice parents), which is what ReconstructPath runs off.
 func (sn *SmallNear) ReleasePathState() int64 {
 	freed := sn.PathStateBytes()
 	sn.res.Parent = nil

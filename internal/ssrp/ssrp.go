@@ -50,8 +50,13 @@ func solve(g *graph.Graph, source int32, p Params, trackPaths bool) (*rp.Result,
 	}
 	stats := sh.newStats()
 	ps := sh.NewPerSource(source)
-	ps.TrackPaths = trackPaths
+	ps.TrackPaths = trackPaths || p.TrackPaths
 	ps.BuildSmallNear()
+	if ps.TrackPaths {
+		// Reconstruction runs off the immutable witness snapshot, the
+		// same plane the MSRP pipeline retains past ReleasePathState.
+		ps.Snap = ps.Small.SnapshotProvenance()
+	}
 	stats.AuxNodes += int64(ps.Small.NumNodes)
 	stats.AuxArcs += int64(ps.Small.NumArcs)
 	ps.ComputeLenSRClassic()

@@ -131,9 +131,12 @@ type Options struct {
 	// (ablation switch; output unchanged, far-edge stage slower).
 	FlatLandmarks bool
 
-	// TrackPaths records provenance during SingleSource so
+	// TrackPaths records provenance during the solve so
 	// Result.ReplacementPath can expand answers into concrete vertex
-	// sequences. Not supported by MultiSource.
+	// sequences. Supported by SingleSource, MultiSource, and the Oracle
+	// (both its lazy builds and Warm). Lengths are bit-identical with
+	// tracking on or off; the cost is the retained provenance plane,
+	// reported by OracleStats.ProvenanceBytes on the serving path.
 	TrackPaths bool
 }
 
@@ -156,6 +159,7 @@ func (o Options) params() ssrp.Params {
 		Parallelism:    o.Parallelism,
 		ExhaustiveNear: o.ExhaustiveNear,
 		FlatLandmarks:  o.FlatLandmarks,
+		TrackPaths:     o.TrackPaths,
 	}
 }
 
@@ -191,6 +195,81 @@ func (r *Result) Lengths(t int) []int32 { return r.res.Len[t] }
 // edge does not exist or is not on the canonical source→t path, and
 // NoPath when no replacement path exists.
 func (r *Result) AvoidEdge(t, u, v int) (int32, error) {
+	i, err := r.pathEdgeIndex(t, u, v)
+	if err != nil {
+		return 0, err
+	}
+	return r.res.Len[t][i], nil
+}
+
+// NumAnswers returns the total number of (target, edge) pairs answered.
+func (r *Result) NumAnswers() int { return r.res.NumQueries() }
+
+// ErrPathsNotTracked is the sentinel returned when a path expansion is
+// requested from a result (or oracle) that was built without
+// Options.TrackPaths. SingleSource, MultiSource, and the Oracle all
+// support tracking; set the option before solving. Serving front-ends
+// should test with errors.Is and map it to a client error (the request
+// asked for something this deployment was configured not to record).
+var ErrPathsNotTracked = errors.New(
+	"msrp: replacement paths were not tracked; set Options.TrackPaths before solving (supported by SingleSource, MultiSource, and the Oracle)")
+
+// ReplacementPath expands the answer for target t and path-edge index i
+// into its vertex sequence (source first, t last). It returns nil when
+// no replacement path exists, and ErrPathsNotTracked unless the result
+// was computed with Options.TrackPaths.
+//
+// Every returned path is validated first — a real walk in the graph
+// from source to t, avoiding the i-th canonical edge, of exactly the
+// reported length — so a non-nil path is a machine-checked certificate
+// of its answer, never a guess; a reconstruction that fails validation
+// surfaces as an error instead.
+func (r *Result) ReplacementPath(t, i int) ([]int32, error) {
+	if r.ps == nil {
+		return nil, ErrPathsNotTracked
+	}
+	path, err := r.ps.ReconstructPath(int32(t), i)
+	if err != nil || path == nil {
+		return nil, err
+	}
+	e := r.ps.EdgeAt(int32(t), i)
+	if err := rp.CheckReplacementPath(r.g, path, r.res.Source, int32(t), e, r.res.Len[t][i]); err != nil {
+		return nil, fmt.Errorf("msrp: reconstruction for t=%d i=%d failed validation (bug): %w", t, i, err)
+	}
+	return path, nil
+}
+
+// ReplacementPathForEdge is ReplacementPath addressed the way queries
+// arrive on the wire: by the avoided edge {u, v} on the canonical path
+// to t rather than by path-edge index.
+func (r *Result) ReplacementPathForEdge(t, u, v int) ([]int32, error) {
+	i, err := r.pathEdgeIndex(t, u, v)
+	if err != nil {
+		return nil, err
+	}
+	return r.ReplacementPath(t, i)
+}
+
+// ProvenanceBytes returns the retained footprint of this result's
+// per-source provenance state (0 when paths were not tracked). The
+// Oracle aggregates it across cached entries into
+// OracleStats.ProvenanceBytes.
+func (r *Result) ProvenanceBytes() int64 {
+	if r.ps == nil {
+		return 0
+	}
+	return r.ps.ProvenanceBytes()
+}
+
+// pathEdgeIndex resolves the avoided edge {u, v} to its index on the
+// canonical path to t — the shared addressing step of AvoidEdge and
+// ReplacementPathForEdge. The target is bounds-checked here: these
+// entry points are wired to the network (the /v1/query body), so an
+// out-of-range target must be a per-query error, not an index panic.
+func (r *Result) pathEdgeIndex(t, u, v int) (int, error) {
+	if t < 0 || t >= r.g.NumVertices() {
+		return 0, fmt.Errorf("msrp: target %d out of range [0,%d)", t, r.g.NumVertices())
+	}
 	e, ok := r.g.EdgeID(u, v)
 	if !ok {
 		return 0, fmt.Errorf("msrp: no edge {%d,%d}", u, v)
@@ -200,21 +279,7 @@ func (r *Result) AvoidEdge(t, u, v int) (int32, error) {
 			u, v, r.res.Source, t)
 	}
 	child, _ := r.res.Tree.ChildEndpoint(r.g, e)
-	return r.res.Len[t][r.res.Tree.Dist[child]-1], nil
-}
-
-// NumAnswers returns the total number of (target, edge) pairs answered.
-func (r *Result) NumAnswers() int { return r.res.NumQueries() }
-
-// ReplacementPath expands the answer for target t and path-edge index i
-// into its vertex sequence (source first, t last). It returns nil when
-// no replacement path exists, and an error unless the result was
-// computed by SingleSource with Options.TrackPaths.
-func (r *Result) ReplacementPath(t, i int) ([]int32, error) {
-	if r.ps == nil {
-		return nil, errors.New("msrp: result was not computed with Options.TrackPaths")
-	}
-	return r.ps.ReconstructPath(int32(t), i)
+	return int(r.res.Tree.Dist[child]) - 1, nil
 }
 
 func wrapResult(g *graph.Graph, res *rp.Result) *Result {
@@ -248,6 +313,9 @@ func SingleSource(g *Graph, source int, opts Options) (*Result, error) {
 
 // MultiSource computes all replacement path lengths from every source
 // (the paper's MSRP algorithm, Theorem 1). Results are in source order.
+// With Options.TrackPaths each Result supports ReplacementPath exactly
+// as a SingleSource result does, expanded through the §8 provenance
+// plane.
 func MultiSource(g *Graph, sources []int, opts Options) ([]*Result, error) {
 	if g == nil {
 		return nil, ErrNilGraph
@@ -256,13 +324,16 @@ func MultiSource(g *Graph, sources []int, opts Options) ([]*Result, error) {
 	for i, s := range sources {
 		srcs[i] = int32(s)
 	}
-	results, _, err := msrpcore.Solve(g.g, srcs, opts.params())
+	sol, err := msrpcore.Solve(g.g, srcs, opts.params())
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*Result, len(results))
-	for i, res := range results {
+	out := make([]*Result, len(sol.Results))
+	for i, res := range sol.Results {
 		out[i] = wrapResult(g.g, res)
+		if opts.TrackPaths {
+			out[i].ps = sol.PerSource[i]
+		}
 	}
 	return out, nil
 }

@@ -28,16 +28,26 @@ func notSourceError(s int) error {
 
 // Query is one replacement-path question for Oracle.QueryBatch: the
 // length of the shortest Source→Target path avoiding the edge {U, V}.
+// Paths additionally requests the concrete replacement path in
+// Answer.Path (the oracle must have been built with
+// Options.TrackPaths, else the answer carries ErrPathsNotTracked).
 type Query struct {
 	Source, Target int
 	U, V           int
+	Paths          bool
 }
 
 // Answer is the result of one Query. Err is non-nil when the query was
 // malformed (unknown source, missing edge, edge off the canonical
-// path); Length is NoPath when the avoided edge is a bridge.
+// path) or when paths were requested from an untracked oracle; Length
+// is NoPath when the avoided edge is a bridge. Path holds the
+// replacement path's vertex sequence (source first, target last) when
+// the query requested it and a replacement path exists; it is a
+// machine-checkable certificate — a real walk in G−e of exactly Length
+// edges.
 type Answer struct {
 	Length int32
+	Path   []int32
 	Err    error
 }
 
@@ -108,6 +118,18 @@ type Oracle struct {
 	// guarded by mu (written once per warm, far off the query path).
 	warmStages        StageTimes
 	warmPeakSeedBytes int64
+
+	// provBytes tracks the retained provenance plane (guarded by mu):
+	// per-entry snapshot/provenance bytes move with LRU inserts and
+	// evictions; a completed Warm adds its shared §8 plane once.
+	provBytes int64
+	// warmProv pins the warm provenance plane (guarded by mu). Without
+	// this anchor the plane would only be reachable through cached warm
+	// results' closures and could be collected once the LRU churned
+	// them all out — leaving provBytes counting freed memory and warm
+	// results rebuilt lazily without the plane's answers. Tracked warm
+	// state is for the oracle's lifetime, as the Stats docs promise.
+	warmProv *msrpcore.Solution
 }
 
 // StageTimes is the per-stage latency breakdown of one §8 batch solve
@@ -158,6 +180,18 @@ type OracleStats struct {
 	// Cancellations counts QueryBatchContext/WarmContext calls that
 	// returned early because their context was cancelled.
 	Cancellations int64
+	// ProvenanceBytes is the retained footprint of the path-provenance
+	// plane under Options.TrackPaths — what tracking keeps alive that a
+	// length-only oracle would have dropped. Lazy builds contribute per
+	// cached entry (witness snapshot + Value-lookup plane + answer
+	// provenance + witnesses) and are released by LRU eviction; a
+	// completed Warm contributes its whole plane once (every source's
+	// snapshot plus the shared §8 parent chains, seed table, and center
+	// forest) and keeps it for the oracle's lifetime — the explain
+	// machinery reaches all of it, so evicting a warm entry frees
+	// nothing. 0 on untracked oracles. Unlike the other counters it is
+	// a gauge, not a monotone counter.
+	ProvenanceBytes int64
 	// WarmStages is the stage-latency breakdown of the most recent
 	// completed Warm pipeline (zero before any warm completes).
 	WarmStages StageTimes
@@ -205,8 +239,10 @@ func (o *Oracle) Stats() OracleStats {
 	o.mu.Lock()
 	warmStages := o.warmStages
 	warmPeak := o.warmPeakSeedBytes
+	provBytes := o.provBytes
 	o.mu.Unlock()
 	return OracleStats{
+		ProvenanceBytes:       provBytes,
 		Hits:                  o.hits.Load(),
 		Misses:                o.misses.Load(),
 		Builds:                o.builds.Load(),
@@ -237,6 +273,7 @@ func (o *Oracle) Options() Options { return o.opts }
 type lruEntry struct {
 	s          int
 	res        *Result
+	provBytes  int64 // per-entry provenance footprint, for the gauge
 	prev, next *lruEntry
 }
 
@@ -354,10 +391,33 @@ func (o *Oracle) QueryBatchContext(ctx context.Context, queries []Query) ([]Answ
 		res := results[i]
 		for _, qi := range bySource[s] {
 			q := queries[qi]
-			answers[qi].Length, answers[qi].Err = res.AvoidEdge(q.Target, q.U, q.V)
+			// One edge resolution serves both the length lookup and the
+			// optional path expansion.
+			idx, err := res.pathEdgeIndex(q.Target, q.U, q.V)
+			if err != nil {
+				answers[qi].Err = err
+				continue
+			}
+			answers[qi].Length = res.res.Len[q.Target][idx]
+			if q.Paths && answers[qi].Length != NoPath {
+				answers[qi].Path, answers[qi].Err = res.ReplacementPath(q.Target, idx)
+			}
 		}
 	}
 	return answers, nil
+}
+
+// QueryPath answers a single replacement-path question with the
+// concrete path: the shortest s→t walk avoiding the edge {u, v}
+// (source first, t last), or nil when the edge is a bridge (the NoPath
+// case). The oracle must have been built with Options.TrackPaths, else
+// ErrPathsNotTracked. Safe for concurrent use.
+func (o *Oracle) QueryPath(s, t, u, v int) ([]int32, error) {
+	res, err := o.result(context.Background(), s, o.pool)
+	if err != nil {
+		return nil, err
+	}
+	return res.ReplacementPathForEdge(t, u, v)
 }
 
 // Result returns the full per-source result, materializing it if
@@ -428,10 +488,11 @@ func (o *Oracle) WarmContext(ctx context.Context) error {
 		o.warming = c
 		o.mu.Unlock()
 
-		results, solveStats, err := msrpcore.SolveSharedContext(ctx, o.sh)
+		sol, err := msrpcore.SolveSharedContext(ctx, o.sh)
 
 		o.mu.Lock()
 		if err == nil {
+			solveStats := sol.Stats
 			o.warms.Add(1) // count only pipeline runs that completed
 			o.warmed = true
 			o.warmStages = StageTimes{
@@ -442,9 +503,28 @@ func (o *Oracle) WarmContext(ctx context.Context) error {
 				Assembly:       solveStats.StageAssembly,
 			}
 			o.warmPeakSeedBytes = solveStats.PeakSeedPathBytes
+			if sol.Prov != nil {
+				// The warm plane is one immortal unit: the shared §8
+				// artifacts (parent chains, seed table, center forest)
+				// plus every source's snapshot — the explain machinery
+				// reaches all of them (seedSuffix scans every source),
+				// so nothing in it is freed by an LRU eviction. Pin it
+				// on the oracle, count it once, and give the warm-built
+				// entries zero per-entry weight below.
+				o.warmProv = sol
+				planeBytes := sol.Prov.Bytes()
+				for _, ps := range sol.PerSource {
+					planeBytes += ps.ProvenanceBytes()
+				}
+				o.provBytes += planeBytes
+			}
 			for i, s := range o.sources {
 				if _, ok := o.cache[s]; !ok {
-					o.insertLocked(s, wrapResult(o.g.g, results[i]))
+					res := wrapResult(o.g.g, sol.Results[i])
+					if o.opts.TrackPaths {
+						res.ps = sol.PerSource[i]
+					}
+					o.insertLocked(s, res, 0)
 				}
 			}
 		}
@@ -523,7 +603,7 @@ func (o *Oracle) result(ctx context.Context, s int, pool *engine.Pool) (*Result,
 		c.res = e.res
 	} else {
 		c.res = built
-		o.insertLocked(s, built)
+		o.insertLocked(s, built, built.ProvenanceBytes())
 	}
 	delete(o.inflight, s)
 	o.mu.Unlock()
@@ -534,22 +614,36 @@ func (o *Oracle) result(ctx context.Context, s int, pool *engine.Pool) (*Result,
 // build materializes one source against the shared preprocessing: the
 // §7.1 small-near graph, exact landmark replacement lengths via the
 // classical algorithm (sharded over pool), and the per-target combine.
-// Deterministic in (graph, source set, options) alone.
+// Deterministic in (graph, source set, options) alone. Under
+// Options.TrackPaths the build also records the provenance plane (the
+// witness snapshot and the classic crossing-edge witnesses), so the
+// result expands paths; lengths are unchanged.
 func (o *Oracle) build(s int32, pool *engine.Pool) *Result {
 	start := time.Now()
 	ps := o.sh.NewPerSource(s)
+	ps.TrackPaths = o.opts.TrackPaths
 	ps.BuildSmallNear()
+	if ps.TrackPaths {
+		ps.Snap = ps.Small.SnapshotProvenance()
+	}
 	ps.ComputeLenSRClassicPool(pool)
 	res := wrapResult(o.g.g, ps.Combine(nil))
+	if ps.TrackPaths {
+		res.ps = ps
+	}
 	o.builds.Add(1)
 	o.buildNanos.Add(int64(time.Since(start)))
 	return res
 }
 
 // insertLocked adds s at the LRU head and evicts beyond the bound.
-// Callers hold o.mu.
-func (o *Oracle) insertLocked(s int, res *Result) {
-	e := &lruEntry{s: s, res: res}
+// provBytes is the provenance footprint an eviction of this entry
+// actually frees: the per-result bytes for an individually-freeable
+// lazy build, 0 for a warm-built entry (its state belongs to the
+// immortal warm plane, accounted once at warm time). Callers hold o.mu.
+func (o *Oracle) insertLocked(s int, res *Result, provBytes int64) {
+	e := &lruEntry{s: s, res: res, provBytes: provBytes}
+	o.provBytes += e.provBytes
 	o.cache[s] = e
 	e.next = o.lruHead
 	if o.lruHead != nil {
@@ -564,6 +658,7 @@ func (o *Oracle) insertLocked(s int, res *Result) {
 			victim := o.lruTail
 			o.removeLocked(victim)
 			delete(o.cache, victim.s)
+			o.provBytes -= victim.provBytes
 			o.evictions.Add(1)
 		}
 	}

@@ -1,0 +1,146 @@
+package msrp
+
+// Public-API coverage of the provenance plane: the ErrPathsNotTracked
+// contract, Oracle.QueryPath over both construction paths (lazy
+// single-source builds and the Warm §8 pipeline), and the
+// ProvenanceBytes gauge across LRU churn.
+
+import (
+	"errors"
+	"testing"
+
+	"msrp/internal/rp"
+)
+
+func trackedOptions(seed uint64) Options {
+	o := testOptions(seed)
+	o.TrackPaths = true
+	return o
+}
+
+// checkAPIPath validates a public-API path against the reported length
+// and the avoided edge.
+func checkAPIPath(t *testing.T, g *Graph, path []int32, s, target, u, v int, want int32) {
+	t.Helper()
+	e, ok := g.g.EdgeID(u, v)
+	if !ok {
+		t.Fatalf("edge {%d,%d} missing", u, v)
+	}
+	if err := rp.CheckReplacementPath(g.g, path, int32(s), int32(target), e, want); err != nil {
+		t.Fatalf("path s=%d t=%d avoid {%d,%d}: %v", s, target, u, v, err)
+	}
+}
+
+func TestReplacementPathNotTracked(t *testing.T) {
+	g := GenerateCycle(8)
+	res, err := SingleSource(g, 0, testOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.ReplacementPath(3, 0); !errors.Is(err, ErrPathsNotTracked) {
+		t.Fatalf("untracked SingleSource: err = %v, want ErrPathsNotTracked", err)
+	}
+	multi, err := MultiSource(g, []int{0, 4}, testOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := multi[0].ReplacementPath(3, 0); !errors.Is(err, ErrPathsNotTracked) {
+		t.Fatalf("untracked MultiSource: err = %v, want ErrPathsNotTracked", err)
+	}
+	oracle, err := NewOracle(g, []int{0}, testOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracle.QueryPath(0, 3, 0, 1); !errors.Is(err, ErrPathsNotTracked) {
+		t.Fatalf("untracked QueryPath: err = %v, want ErrPathsNotTracked", err)
+	}
+	a := oracle.QueryBatch([]Query{{Source: 0, Target: 3, U: 0, V: 1, Paths: true}})
+	if !errors.Is(a[0].Err, ErrPathsNotTracked) {
+		t.Fatalf("untracked batch with Paths: err = %v, want ErrPathsNotTracked", a[0].Err)
+	}
+	if st := oracle.Stats(); st.ProvenanceBytes != 0 {
+		t.Fatalf("untracked oracle reports ProvenanceBytes = %d", st.ProvenanceBytes)
+	}
+}
+
+// TestOracleQueryPathLazyAndWarm exercises both materialization routes
+// of a tracked oracle and validates every expanded path.
+func TestOracleQueryPathLazyAndWarm(t *testing.T) {
+	g := GenerateRandomConnected(11, 40, 90)
+	sources := []int{0, 13, 26}
+	for _, warm := range []bool{false, true} {
+		oracle, err := NewOracle(g, sources, trackedOptions(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm {
+			if err := oracle.Warm(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checked := 0
+		for _, s := range sources {
+			res := oracle.Result(s)
+			for target := 0; target < g.NumVertices(); target++ {
+				path := res.PathTo(target)
+				for i := 0; i+1 < len(path); i++ {
+					u, v := int(path[i]), int(path[i+1])
+					length, err := oracle.Query(s, target, u, v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rpath, err := oracle.QueryPath(s, target, u, v)
+					if err != nil {
+						t.Fatalf("warm=%v QueryPath(%d,%d,%d,%d): %v", warm, s, target, u, v, err)
+					}
+					if length == NoPath {
+						if rpath != nil {
+							t.Fatalf("warm=%v: path for a NoPath answer", warm)
+						}
+						continue
+					}
+					checkAPIPath(t, g, rpath, s, target, u, v, length)
+					checked++
+				}
+			}
+		}
+		if checked == 0 {
+			t.Fatal("no paths checked")
+		}
+		if st := oracle.Stats(); st.ProvenanceBytes <= 0 {
+			t.Fatalf("warm=%v: tracked oracle reports ProvenanceBytes = %d", warm, st.ProvenanceBytes)
+		}
+	}
+}
+
+// TestOracleProvenanceBytesFollowsLRU pins the gauge semantics: after
+// an eviction the gauge drops back to exactly the surviving entry's
+// footprint.
+func TestOracleProvenanceBytesFollowsLRU(t *testing.T) {
+	g := GenerateRandomConnected(12, 40, 90)
+	opts := trackedOptions(7)
+	opts.MaxCachedSources = 1
+	oracle, err := NewOracle(g, []int{0, 20}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := oracle.Result(0)
+	if got, want := oracle.Stats().ProvenanceBytes, r0.ProvenanceBytes(); got != want {
+		t.Fatalf("after first build: gauge %d, cached entry holds %d", got, want)
+	}
+	r1 := oracle.Result(20) // evicts source 0
+	if got := oracle.CachedSources(); got != 1 {
+		t.Fatalf("CachedSources = %d, want 1", got)
+	}
+	if got, want := oracle.Stats().ProvenanceBytes, r1.ProvenanceBytes(); got != want {
+		t.Fatalf("after eviction: gauge %d, surviving entry holds %d", got, want)
+	}
+	// The evicted result object keeps working: its provenance rides on
+	// the Result, not the cache slot.
+	path := r0.PathTo(20)
+	if len(path) >= 2 {
+		if _, err := r0.ReplacementPath(20, 0); err != nil {
+			t.Fatalf("evicted result lost its provenance: %v", err)
+		}
+	}
+}
