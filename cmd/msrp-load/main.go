@@ -1,0 +1,289 @@
+// Command msrp-load executes a declarative load plan (internal/load)
+// against an msrp-serve endpoint and records a machine-readable result.
+//
+// Two modes:
+//
+//   - spawn (default): regenerate the plan's graph, boot a private
+//     msrp-serve on a free port with the plan's server knobs, run the
+//     waves, then drain it. The full lifecycle — including a mid-wave
+//     SIGTERM for drain waves — is owned by the harness.
+//   - external (-target): drive an already-running endpoint. Drain
+//     waves then need -drain-pid so the harness can deliver SIGTERM
+//     (which also enables peak-RSS sampling from /proc).
+//
+// Usage:
+//
+//	msrp-load -plan plans/micro.json -out BENCH_E16.json
+//	msrp-load -plan plans/saturation.json -serve-bin ./msrp-serve -v
+//	msrp-load -plan plans/micro.json -target http://127.0.0.1:8080
+//
+// Exit status is non-zero when the harness itself fails, when any wave
+// observed a 5xx (unless -fail-on-5xx=false), or when a drain wave
+// never saw /healthz flip to 503.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"msrp/internal/bench"
+	"msrp/internal/graph"
+	"msrp/internal/load"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "msrp-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		planPath = flag.String("plan", "", "load plan JSON (required; see internal/load)")
+		target   = flag.String("target", "", "existing msrp-serve base URL (default: spawn a private server)")
+		serveBin = flag.String("serve-bin", "msrp-serve", "msrp-serve binary for spawn mode (looked up in PATH)")
+		drainPid = flag.Int("drain-pid", 0, "server pid for drain waves / RSS sampling in -target mode")
+		out      = flag.String("out", "", "write the run record as a BENCH envelope to this file")
+		failOn5s = flag.Bool("fail-on-5xx", true, "exit non-zero when any wave observed a 5xx")
+		verbose  = flag.Bool("v", false, "log wave progress to stderr")
+	)
+	flag.Parse()
+	if *planPath == "" {
+		return fmt.Errorf("need -plan (a load plan JSON; see internal/load)")
+	}
+	plan, err := load.LoadPlan(*planPath)
+	if err != nil {
+		return err
+	}
+
+	opt := load.Options{}
+	if *verbose {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "msrp-load: "+format+"\n", args...)
+		}
+	}
+
+	var (
+		tgt     *load.Target
+		spawned *serveProc
+	)
+	if *target != "" {
+		tgt = &load.Target{BaseURL: *target, Pid: *drainPid}
+	} else {
+		spawned, err = spawnServe(plan, *serveBin, opt)
+		if err != nil {
+			return err
+		}
+		defer spawned.cleanup()
+		tgt = &load.Target{BaseURL: spawned.baseURL, Pid: spawned.cmd.Process.Pid}
+	}
+
+	res, err := load.Run(context.Background(), plan, tgt, opt)
+	if err != nil {
+		return err
+	}
+
+	// A spawned server that was drained mid-wave is already exiting;
+	// collect it (and its exit status) before judging the run. Otherwise
+	// shut it down now.
+	drained := false
+	for _, w := range plan.Waves {
+		drained = drained || w.Drain
+	}
+	if spawned != nil {
+		if err := spawned.stop(drained); err != nil {
+			return err
+		}
+	}
+
+	if *out != "" {
+		env := bench.NewEnvelope("E16", "Load-plan scenario run: "+plan.Name, res)
+		if err := env.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "msrp-load: wrote %s\n", *out)
+	}
+
+	summarize(res)
+
+	if *failOn5s && res.ServerErrors > 0 {
+		return fmt.Errorf("run observed %d server errors (5xx)", res.ServerErrors)
+	}
+	for _, w := range res.Waves {
+		if w.Drain != nil && !w.Drain.Healthz503Observed {
+			return fmt.Errorf("wave %q drained but /healthz never reported 503", w.Name)
+		}
+	}
+	return nil
+}
+
+func summarize(res *load.Result) {
+	for _, w := range res.Waves {
+		fmt.Printf("wave %-12s offered=%-6d completed=%-6d rejected=%-5d (%4.1f%%) 5xx=%d  p50=%.2fms p95=%.2fms p99=%.2fms  %.0f rps\n",
+			w.Name, w.OfferedBatches, w.Completed, w.Rejected, 100*w.RejectionRate,
+			w.ServerErrors, w.Latency.P50, w.Latency.P95, w.Latency.P99, w.ThroughputRPS)
+		if w.Drain != nil {
+			fmt.Printf("wave %-12s drain: healthz503=%v after %.0fms, completedAfterDrain=%d, 5xxAfterDrain=%d\n",
+				w.Name, w.Drain.Healthz503Observed, w.Drain.Healthz503Millis,
+				w.Drain.CompletedAfterDrain, w.Drain.ServerErrorsAfterDrain)
+		}
+	}
+	if res.PeakRSSBytes > 0 {
+		fmt.Printf("server peak RSS: %.1f MiB\n", float64(res.PeakRSSBytes)/(1<<20))
+	}
+}
+
+// serveProc is a spawned msrp-serve and everything needed to reap it.
+type serveProc struct {
+	cmd       *exec.Cmd
+	baseURL   string
+	graphFile string
+	waited    bool
+}
+
+// spawnServe regenerates the plan's graph, writes it to a temp file,
+// and boots msrp-serve on a loopback port with the plan's server knobs.
+// Returns once /healthz answers 200.
+func spawnServe(plan *load.Plan, bin string, opt load.Options) (*serveProc, error) {
+	g, err := load.BuildGraph(plan.Graph)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp("", "msrp-load-*.graph")
+	if err != nil {
+		return nil, err
+	}
+	if err := graph.Encode(g, f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return nil, err
+	}
+
+	port, err := freePort()
+	if err != nil {
+		os.Remove(f.Name())
+		return nil, err
+	}
+	addr := net.JoinHostPort("127.0.0.1", strconv.Itoa(port))
+
+	args := []string{
+		"-graph", f.Name(),
+		"-addr", addr,
+		"-auto-sources", strconv.Itoa(plan.Sources),
+	}
+	if plan.TrackPaths {
+		args = append(args, "-track-paths")
+	}
+	if s := plan.Server; s != nil {
+		if s.MaxCached != 0 {
+			args = append(args, "-max-cached", strconv.Itoa(s.MaxCached))
+		}
+		if s.MaxInFlight != 0 {
+			args = append(args, "-max-inflight", strconv.Itoa(s.MaxInFlight))
+		}
+		if s.Parallelism != 0 {
+			args = append(args, "-parallelism", strconv.Itoa(s.Parallelism))
+		}
+		if d := time.Duration(s.Lameduck); d > 0 {
+			args = append(args, "-drain-lameduck", d.String())
+		}
+		if d := time.Duration(s.Grace); d > 0 {
+			args = append(args, "-shutdown-grace", d.String())
+		}
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("spawn %s: %w", bin, err)
+	}
+	if opt.Logf != nil {
+		opt.Logf("spawned %s (pid %d) on %s", bin, cmd.Process.Pid, addr)
+	}
+
+	p := &serveProc{cmd: cmd, baseURL: "http://" + addr, graphFile: f.Name()}
+	if err := p.waitHealthy(30 * time.Second); err != nil {
+		p.cleanup()
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *serveProc) waitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(p.baseURL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		// A dead child never becomes healthy; fail fast with its status.
+		if p.cmd.ProcessState != nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("spawned server never became healthy on %s", p.baseURL)
+}
+
+// stop reaps the child: a drained server is already exiting (the
+// harness SIGTERMed it mid-wave), so just wait; otherwise deliver the
+// SIGTERM first. Either way a stuck child is killed after a bound.
+func (p *serveProc) stop(alreadyDraining bool) error {
+	if !alreadyDraining {
+		_ = p.cmd.Process.Signal(os.Interrupt)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		p.waited = true
+		if err != nil {
+			return fmt.Errorf("spawned server exited uncleanly: %w", err)
+		}
+		return nil
+	case <-time.After(60 * time.Second):
+		_ = p.cmd.Process.Kill()
+		<-done
+		p.waited = true
+		return fmt.Errorf("spawned server did not exit within 60s of drain; killed")
+	}
+}
+
+func (p *serveProc) cleanup() {
+	if !p.waited {
+		_ = p.cmd.Process.Kill()
+		done := make(chan error, 1)
+		go func() { done <- p.cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+		}
+		p.waited = true
+	}
+	os.Remove(p.graphFile)
+}
+
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}

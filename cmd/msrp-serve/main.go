@@ -58,6 +58,7 @@ func run() error {
 		track    = flag.Bool("track-paths", false, "record path provenance so \"paths\": true queries return concrete replacement paths")
 		pathCap  = flag.Int("max-path-vertices", 0, "per-response budget of path vertices (0 = 131072, <0 = unlimited)")
 		shutdown = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+		lameduck = flag.Duration("drain-lameduck", 0, "on SIGINT/SIGTERM, keep serving (with /healthz reporting 503) this long before closing the listener, so load balancers stop routing first")
 		warmup   = flag.Bool("warm", false, "run the batch pipeline over every source before accepting traffic")
 	)
 	flag.Parse()
@@ -126,7 +127,19 @@ func run() error {
 	case err := <-errc:
 		return err
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "msrp-serve: %v, draining (%v grace)…\n", s, *shutdown)
+		fmt.Fprintf(os.Stderr, "msrp-serve: %v, draining (%v lameduck, %v grace)…\n", s, *lameduck, *shutdown)
+		// Flip /healthz to 503 the moment drain starts — before the
+		// listener dies — so a load balancer stops routing to this
+		// replica while its in-flight requests complete. The lameduck
+		// window keeps the listener open long enough for health checks
+		// to observe the flip and for already-routed requests to land.
+		handler.SetDraining(true)
+		if *lameduck > 0 {
+			select {
+			case <-time.After(*lameduck):
+			case <-sig: // second signal skips the lameduck wait
+			}
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *shutdown)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

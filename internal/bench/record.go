@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// This file holds the shared machine-readable record types behind the
+// repository's tracked perf trajectory: every committed BENCH_*.json is
+// one Envelope, so tooling that plots or diffs the trajectory parses a
+// single shape regardless of which harness (cmd/msrp-bench experiments,
+// cmd/msrp-load scenario runs) produced it.
+
+// Host describes the machine a record was taken on — enough to judge
+// whether two records are comparable.
+type Host struct {
+	GoVersion string `json:"goVersion"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	NumCPU    int    `json:"numCPU"`
+}
+
+// CurrentHost snapshots the running machine.
+func CurrentHost() Host {
+	return Host{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Envelope is the committed BENCH_*.json shape: a stable header
+// (experiment id, when, where) around harness-specific Data.
+type Envelope struct {
+	// Experiment is the EXPERIMENTS.md id ("E16").
+	Experiment string `json:"experiment"`
+	// Title is the experiment's one-line claim or scenario name.
+	Title string `json:"title,omitempty"`
+	// RecordedAt is when the run finished, RFC 3339.
+	RecordedAt time.Time `json:"recordedAt"`
+	Host       Host      `json:"host"`
+	// Data is the harness-specific payload (e.g. load.Result).
+	Data any `json:"data"`
+}
+
+// NewEnvelope stamps an envelope for data recorded now on this host.
+func NewEnvelope(experiment, title string, data any) Envelope {
+	return Envelope{
+		Experiment: experiment,
+		Title:      title,
+		RecordedAt: time.Now().UTC().Truncate(time.Second),
+		Host:       CurrentHost(),
+		Data:       data,
+	}
+}
+
+// WriteFile writes the envelope as indented JSON (trailing newline,
+// diff-friendly for committed records).
+func (e Envelope) WriteFile(path string) error {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encode %s record: %w", e.Experiment, err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LatencyMillis is a latency distribution summary in fractional
+// milliseconds — the wire/record shape shared by every harness that
+// reports percentiles.
+type LatencyMillis struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}

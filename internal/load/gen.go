@@ -1,0 +1,173 @@
+package load
+
+import (
+	"fmt"
+
+	"msrp/internal/bfs"
+	"msrp/internal/graph"
+	"msrp/internal/server"
+	"msrp/internal/xrand"
+)
+
+// BuildGraph materializes a plan's graph spec with the same generators
+// (and therefore bit-identical output) as cmd/msrp-gen.
+func BuildGraph(spec GraphSpec) (*graph.Graph, error) {
+	rng := xrand.New(spec.Seed)
+	switch spec.Family {
+	case "random":
+		m := spec.M
+		if m == 0 {
+			m = 4 * spec.N
+		}
+		return graph.RandomConnected(rng, spec.N, m), nil
+	case "grid":
+		return graph.Grid(spec.Rows, spec.Cols), nil
+	case "cycle":
+		return graph.Cycle(spec.N), nil
+	case "path":
+		return graph.Path(spec.N), nil
+	case "chords":
+		chords := spec.Chords
+		if chords == 0 {
+			chords = 10
+		}
+		return graph.CycleWithChords(rng, spec.N, chords), nil
+	case "pa":
+		k := spec.K
+		if k == 0 {
+			k = 3
+		}
+		return graph.PreferentialAttachment(rng, spec.N, k), nil
+	case "barbell":
+		bridge := spec.Bridge
+		if bridge == 0 {
+			bridge = 3
+		}
+		return graph.Barbell(spec.N, bridge), nil
+	default:
+		return nil, fmt.Errorf("load: unknown graph family %q", spec.Family)
+	}
+}
+
+// AutoSources picks k evenly spread sources exactly the way
+// cmd/msrp-serve's -auto-sources does, so a plan's client and the
+// server it drives agree on the source set without talking about it.
+func AutoSources(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	srcs := make([]int, k)
+	for i := range srcs {
+		srcs[i] = i * n / k
+	}
+	return srcs
+}
+
+// QueryGen synthesizes valid replacement-path queries for a plan's
+// graph: the avoided edge of every query provably lies on the server's
+// canonical source→target path, because the canonical trees are
+// deterministic BFS trees (internal/bfs: first-discoverer parents,
+// ascending neighbor scan) of the regenerated graph — the same code the
+// server runs. Shared read-only state; obtain a per-client Stream for
+// the RNG.
+type QueryGen struct {
+	sources []int
+	trees   []*bfs.Tree
+	targets [][]int32 // per source: vertices at distance >= 1
+	mix     []BatchMix
+	weight  float64 // total mix weight
+}
+
+// NewQueryGen builds the generator (σ BFS trees, O(σ·(n+m))) plus the
+// graph it ran on, for callers that also need to serve or save it.
+func NewQueryGen(plan *Plan) (*QueryGen, *graph.Graph, error) {
+	g, err := BuildGraph(plan.Graph)
+	if err != nil {
+		return nil, nil, err
+	}
+	qg := &QueryGen{
+		sources: AutoSources(g.NumVertices(), plan.Sources),
+		mix:     plan.BatchMix,
+	}
+	if len(qg.mix) == 0 {
+		qg.mix = []BatchMix{{Size: 1, Weight: 1}}
+	}
+	for _, m := range qg.mix {
+		qg.weight += m.Weight
+	}
+	for _, s := range qg.sources {
+		t := bfs.New(g, s)
+		var targets []int32
+		for v := 0; v < g.NumVertices(); v++ {
+			if t.Dist[v] >= 1 {
+				targets = append(targets, int32(v))
+			}
+		}
+		if len(targets) == 0 {
+			return nil, nil, fmt.Errorf("load: source %d has no reachable targets", s)
+		}
+		qg.trees = append(qg.trees, t)
+		qg.targets = append(qg.targets, targets)
+	}
+	return qg, g, nil
+}
+
+// Sources returns the derived source set (for spawn-mode wiring).
+func (qg *QueryGen) Sources() []int { return append([]int(nil), qg.sources...) }
+
+// Stream is a per-client deterministic query stream.
+type Stream struct {
+	qg  *QueryGen
+	rng *xrand.RNG
+}
+
+// Stream derives an independent per-client stream; (seed, client) pairs
+// are decorrelated, so runs are reproducible at any concurrency.
+func (qg *QueryGen) Stream(seed uint64, client int) *Stream {
+	return &Stream{qg: qg, rng: xrand.New(xrand.Mix(seed ^ xrand.Mix(uint64(client)+1)))}
+}
+
+// Batch draws the next batch from the mix: a size, whether paths are
+// requested, and that many valid queries.
+func (s *Stream) Batch() server.QueryRequest {
+	qg := s.qg
+	// Pick the mix entry by weight.
+	entry := qg.mix[len(qg.mix)-1]
+	w := s.rng.Float64() * qg.weight
+	for _, m := range qg.mix {
+		if w < m.Weight {
+			entry = m
+			break
+		}
+		w -= m.Weight
+	}
+	items := make([]server.QueryItem, entry.Size)
+	for i := range items {
+		items[i] = s.query(entry.Paths)
+	}
+	return server.QueryRequest{Queries: items}
+}
+
+// query synthesizes one valid query: a random source, a random
+// reachable target, and a uniformly random edge of the canonical path
+// between them.
+func (s *Stream) query(paths bool) server.QueryItem {
+	qg := s.qg
+	si := s.rng.Intn(len(qg.sources))
+	tree := qg.trees[si]
+	t := qg.targets[si][s.rng.Intn(len(qg.targets[si]))]
+	// The canonical path has Dist[t] edges; walk k steps up from t to
+	// the child endpoint of the avoided edge.
+	k := s.rng.Intn(int(tree.Dist[t]))
+	child := t
+	for ; k > 0; k-- {
+		child = tree.Parent[child]
+	}
+	return server.QueryItem{
+		Source: qg.sources[si],
+		Target: int(t),
+		U:      int(tree.Parent[child]),
+		V:      int(child),
+		Paths:  paths,
+	}
+}

@@ -1,0 +1,67 @@
+package load
+
+import (
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"msrp"
+	"msrp/internal/server"
+)
+
+// InProcess is a plan's server stack booted inside this process over an
+// httptest listener — the CI path: the full HTTP serving surface
+// (admission control, drain flag, stats) without spawning a binary.
+type InProcess struct {
+	Oracle  *msrp.Oracle
+	Handler *server.Server
+	HTTP    *httptest.Server
+}
+
+// NewInProcess builds the plan's graph, oracle (same auto-source rule
+// as msrp-serve), and serving front-end, and starts a real listener.
+// The returned Target drains by flipping the handler's drain flag —
+// the in-process analogue of msrp-serve's SIGTERM lameduck — and
+// samples this process's RSS.
+func NewInProcess(plan *Plan) (*InProcess, *Target, error) {
+	ig, err := BuildGraph(plan.Graph)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := msrp.WrapGraph(ig)
+	opts := msrp.DefaultOptions()
+	opts.Seed = 1
+	opts.TrackPaths = plan.TrackPaths
+	if s := plan.Server; s != nil {
+		opts.MaxCachedSources = s.MaxCached
+		opts.Parallelism = s.Parallelism
+	}
+	oracle, err := msrp.NewOracle(g, AutoSources(g.NumVertices(), plan.Sources), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := server.Config{}
+	if s := plan.Server; s != nil {
+		cfg.MaxInFlight = s.MaxInFlight
+	}
+	handler := server.New(oracle, cfg)
+	ts := httptest.NewServer(handler)
+	ip := &InProcess{Oracle: oracle, Handler: handler, HTTP: ts}
+	tgt := &Target{
+		BaseURL: ts.URL,
+		Pid:     os.Getpid(),
+		DrainFn: func() error { handler.SetDraining(true); return nil },
+	}
+	return ip, tgt, nil
+}
+
+// Close shuts the listener down, allowing in-flight requests a short
+// window first (httptest.Server.Close waits for outstanding requests).
+func (ip *InProcess) Close() {
+	done := make(chan struct{})
+	go func() { ip.HTTP.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+	}
+}

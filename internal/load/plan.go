@@ -1,0 +1,285 @@
+// Package load is the scenario harness behind cmd/msrp-load: it
+// executes declarative, validated load plans against a live msrp-serve
+// endpoint (or an in-process internal/server.Server for CI) and records
+// machine-readable results that seed the repository's tracked perf
+// trajectory (BENCH_*.json via internal/bench.Envelope).
+//
+// A plan names a graph workload (family, size, seed — regenerated
+// deterministically on the client so valid canonical-path queries can
+// be synthesized without asking the server), a batch-size mix, and a
+// sequence of staged waves, each a closed-loop client pool or an open
+// Poisson arrival process. One wave may additionally trigger a
+// mid-wave graceful drain (SIGTERM on a spawned server, or a callback
+// in process) to measure that /healthz flips to 503 while in-flight
+// queries complete. The shape follows the testground notion of a
+// validated composition: every knob is explicit, unknown fields are
+// rejected, and a plan that validates runs the same way everywhere.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("250ms", "3s") in plan JSON.
+type Duration time.Duration
+
+// UnmarshalJSON accepts a duration string or a bare number of
+// milliseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("load: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var ms float64
+	if err := json.Unmarshal(b, &ms); err != nil {
+		return fmt.Errorf("load: duration must be a string like \"250ms\" or a number of milliseconds, got %s", b)
+	}
+	*d = Duration(time.Duration(ms * float64(time.Millisecond)))
+	return nil
+}
+
+// MarshalJSON renders the duration as its string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// GraphSpec names the workload graph. The harness regenerates it
+// deterministically (same generator code and seed as msrp-gen), both to
+// synthesize queries whose avoided edge provably lies on the server's
+// canonical path — the BFS trees are deterministic, so client and
+// server agree — and, in spawn mode, to write the graph file the
+// spawned msrp-serve loads.
+type GraphSpec struct {
+	// Family is one of random|grid|cycle|path|chords|pa|barbell
+	// (msrp-gen's families).
+	Family string `json:"family"`
+	// N is the vertex count (families other than grid).
+	N int `json:"n,omitempty"`
+	// M is the edge count (random family; 0 = 4n).
+	M int `json:"m,omitempty"`
+	// Rows and Cols size the grid family.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Chords counts chords (chords family; 0 = 10).
+	Chords int `json:"chords,omitempty"`
+	// K is edges per arrival (pa family; 0 = 3).
+	K int `json:"k,omitempty"`
+	// Bridge is the bridge length (barbell family; 0 = 3).
+	Bridge int `json:"bridge,omitempty"`
+	// Seed feeds the generator RNG.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// ServerSpec tunes the msrp-serve instance cmd/msrp-load spawns (and
+// validates expectations against when targeting a live endpoint).
+type ServerSpec struct {
+	// MaxInFlight is the /v1/query admission budget (0 = server
+	// default, negative = unbounded).
+	MaxInFlight int `json:"maxInFlight,omitempty"`
+	// MaxCached bounds the oracle's per-source LRU (0 = unlimited).
+	MaxCached int `json:"maxCached,omitempty"`
+	// Parallelism is the engine worker count (0 = GOMAXPROCS).
+	Parallelism int `json:"parallelism,omitempty"`
+	// Lameduck is how long the spawned server keeps its listener open
+	// (with /healthz at 503) after SIGTERM before closing it.
+	Lameduck Duration `json:"lameduck,omitempty"`
+	// Grace is the spawned server's in-flight drain window after the
+	// lameduck ends.
+	Grace Duration `json:"grace,omitempty"`
+}
+
+// BatchMix is one entry of the batch-size mix: batches of Size queries
+// drawn with probability proportional to Weight; Paths asks for
+// concrete replacement paths on every query of the batch.
+type BatchMix struct {
+	Size   int     `json:"size"`
+	Weight float64 `json:"weight"`
+	Paths  bool    `json:"paths,omitempty"`
+}
+
+// Arrival processes.
+const (
+	// ArrivalClosed is a closed loop: each client sends, waits for the
+	// response (honoring Retry-After on 429 unless the wave opts out),
+	// then immediately sends again. Offered load tracks capacity.
+	ArrivalClosed = "closed"
+	// ArrivalPoisson is an open process: batches arrive at Rate per
+	// second with exponential inter-arrival times, regardless of how
+	// the server is keeping up — the process that pushes a server past
+	// its admission budget.
+	ArrivalPoisson = "poisson"
+)
+
+// Wave is one stage of the plan, run after the previous wave finished.
+type Wave struct {
+	// Name labels the wave in results; required.
+	Name string `json:"name"`
+	// Clients is the client pool size: the concurrency of a closed
+	// wave, the in-flight cap of a poisson wave (arrivals past the cap
+	// are counted as overflowed, not sent). Must be positive.
+	Clients int `json:"clients"`
+	// Arrival is ArrivalClosed (default) or ArrivalPoisson.
+	Arrival string `json:"arrival,omitempty"`
+	// Rate is the poisson arrival rate in batches per second.
+	Rate float64 `json:"rate,omitempty"`
+	// Duration is how long the wave offers load.
+	Duration Duration `json:"duration"`
+	// ObeyRetryAfter controls whether a client that got a 429 sleeps
+	// the advertised Retry-After before retrying the same batch.
+	// Default true; a saturation wave sets false to keep the offered
+	// load up.
+	ObeyRetryAfter *bool `json:"obeyRetryAfter,omitempty"`
+	// Drain triggers a graceful drain at the wave's midpoint (SIGTERM
+	// to the spawned/attached server, or the in-process drain
+	// callback). Only the last wave may drain.
+	Drain bool `json:"drain,omitempty"`
+}
+
+// Obey reports whether this wave honors Retry-After (the default).
+func (w *Wave) Obey() bool { return w.ObeyRetryAfter == nil || *w.ObeyRetryAfter }
+
+// Plan is a complete declarative load scenario.
+type Plan struct {
+	// Name labels the scenario; required.
+	Name  string    `json:"name"`
+	Graph GraphSpec `json:"graph"`
+	// Sources is σ: how many evenly spread sources the server was (or
+	// is spawned) configured with via -auto-sources.
+	Sources int `json:"sources"`
+	// Seed feeds the query-synthesis RNG (distinct from Graph.Seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// TrackPaths marks the deployment as path-tracking; required for
+	// any BatchMix entry with Paths.
+	TrackPaths bool `json:"trackPaths,omitempty"`
+	// Warm runs POST /v1/warm as the warm-up phase before the first
+	// wave (recorded, not counted into any wave).
+	Warm bool `json:"warm,omitempty"`
+	// BatchMix is the batch-size mix; empty means single-query batches.
+	BatchMix []BatchMix  `json:"batchMix,omitempty"`
+	Server   *ServerSpec `json:"server,omitempty"`
+	Waves    []Wave      `json:"waves"`
+}
+
+// knownFamilies mirrors cmd/msrp-gen.
+var knownFamilies = map[string]bool{
+	"random": true, "grid": true, "cycle": true, "path": true,
+	"chords": true, "pa": true, "barbell": true,
+}
+
+// Validate checks the plan strictly; a plan that validates runs the
+// same way on every host. (Unknown JSON fields are rejected earlier, by
+// ParsePlan's DisallowUnknownFields.)
+func (p *Plan) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("load: plan needs a name")
+	}
+	g := p.Graph
+	if !knownFamilies[g.Family] {
+		return fmt.Errorf("load: unknown graph family %q", g.Family)
+	}
+	if g.Family == "grid" {
+		if g.Rows <= 0 || g.Cols <= 0 {
+			return fmt.Errorf("load: grid family needs positive rows and cols")
+		}
+	} else if g.N <= 1 {
+		return fmt.Errorf("load: graph family %q needs n > 1, got %d", g.Family, g.N)
+	}
+	n := g.N
+	if g.Family == "grid" {
+		n = g.Rows * g.Cols
+	}
+	if p.Sources <= 0 {
+		return fmt.Errorf("load: sources must be positive, got %d", p.Sources)
+	}
+	if p.Sources > n {
+		return fmt.Errorf("load: sources = %d exceeds the graph's %d vertices", p.Sources, n)
+	}
+	for i, m := range p.BatchMix {
+		if m.Size <= 0 {
+			return fmt.Errorf("load: batchMix[%d]: size must be positive, got %d", i, m.Size)
+		}
+		if m.Weight <= 0 {
+			return fmt.Errorf("load: batchMix[%d]: weight must be positive, got %g", i, m.Weight)
+		}
+		if m.Paths && !p.TrackPaths {
+			return fmt.Errorf("load: batchMix[%d] requests paths but the plan does not set trackPaths", i)
+		}
+	}
+	if len(p.Waves) == 0 {
+		return fmt.Errorf("load: plan needs at least one wave")
+	}
+	seen := make(map[string]bool, len(p.Waves))
+	for i := range p.Waves {
+		w := &p.Waves[i]
+		if w.Name == "" {
+			return fmt.Errorf("load: wave %d is unnamed; every stage needs a name", i)
+		}
+		if seen[w.Name] {
+			return fmt.Errorf("load: duplicate wave name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Clients <= 0 {
+			return fmt.Errorf("load: wave %q: clients must be positive, got %d", w.Name, w.Clients)
+		}
+		switch w.Arrival {
+		case "", ArrivalClosed:
+			if w.Rate != 0 {
+				return fmt.Errorf("load: wave %q: rate is only meaningful with arrival %q", w.Name, ArrivalPoisson)
+			}
+		case ArrivalPoisson:
+			if w.Rate <= 0 {
+				return fmt.Errorf("load: wave %q: poisson arrival needs a positive rate", w.Name)
+			}
+		default:
+			return fmt.Errorf("load: wave %q: unknown arrival %q (want %q or %q)",
+				w.Name, w.Arrival, ArrivalClosed, ArrivalPoisson)
+		}
+		if time.Duration(w.Duration) <= 0 {
+			return fmt.Errorf("load: wave %q: duration must be positive", w.Name)
+		}
+		if w.Drain && i != len(p.Waves)-1 {
+			return fmt.Errorf("load: wave %q: only the last wave may drain (the server is gone afterwards)", w.Name)
+		}
+	}
+	return nil
+}
+
+// ParsePlan decodes and validates a plan. Unknown fields are an error:
+// a typoed knob must fail loudly, not silently run a different
+// scenario.
+func ParsePlan(r io.Reader) (*Plan, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("load: parse plan: %w", err)
+	}
+	// A second document in the stream is a malformed plan file.
+	if dec.More() {
+		return nil, fmt.Errorf("load: plan file contains trailing data after the plan object")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadPlan reads a plan file.
+func LoadPlan(path string) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParsePlan(f)
+}

@@ -1,0 +1,199 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// validPlanJSON is a minimal plan every mutation below starts from.
+const validPlanJSON = `{
+  "name": "t",
+  "graph": {"family": "chords", "n": 60, "chords": 6, "seed": 3},
+  "sources": 4,
+  "waves": [
+    {"name": "w1", "clients": 1, "duration": "50ms"},
+    {"name": "w2", "clients": 2, "arrival": "poisson", "rate": 100, "duration": "50ms"}
+  ]
+}`
+
+func TestParsePlanValid(t *testing.T) {
+	p, err := ParsePlan(strings.NewReader(validPlanJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "t" || len(p.Waves) != 2 {
+		t.Fatalf("plan misparsed: %+v", p)
+	}
+	if got := time.Duration(p.Waves[0].Duration); got != 50*time.Millisecond {
+		t.Fatalf("duration = %v, want 50ms", got)
+	}
+	if !p.Waves[0].Obey() {
+		t.Fatal("ObeyRetryAfter must default to true")
+	}
+}
+
+func TestParsePlanRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string // substring of the error
+	}{
+		{
+			name: "unknown top-level field",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":2,"bogus":1,
+			        "waves":[{"name":"w","clients":1,"duration":"10ms"}]}`,
+			want: "unknown field",
+		},
+		{
+			name: "unknown wave field",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":2,
+			        "waves":[{"name":"w","clients":1,"duration":"10ms","turbo":true}]}`,
+			want: "unknown field",
+		},
+		{
+			name: "unknown graph field",
+			json: `{"name":"t","graph":{"family":"cycle","n":10,"density":2},"sources":2,
+			        "waves":[{"name":"w","clients":1,"duration":"10ms"}]}`,
+			want: "unknown field",
+		},
+		{
+			name: "zero-client wave",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":2,
+			        "waves":[{"name":"w","clients":0,"duration":"10ms"}]}`,
+			want: "clients must be positive",
+		},
+		{
+			name: "unnamed stage",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":2,
+			        "waves":[{"clients":1,"duration":"10ms"}]}`,
+			want: "unnamed",
+		},
+		{
+			name: "duplicate stage name",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":2,
+			        "waves":[{"name":"w","clients":1,"duration":"10ms"},
+			                 {"name":"w","clients":1,"duration":"10ms"}]}`,
+			want: "duplicate wave name",
+		},
+		{
+			name: "unnamed plan",
+			json: `{"graph":{"family":"cycle","n":10},"sources":2,
+			        "waves":[{"name":"w","clients":1,"duration":"10ms"}]}`,
+			want: "needs a name",
+		},
+		{
+			name: "no waves",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":2,"waves":[]}`,
+			want: "at least one wave",
+		},
+		{
+			name: "unknown family",
+			json: `{"name":"t","graph":{"family":"hypercube","n":10},"sources":2,
+			        "waves":[{"name":"w","clients":1,"duration":"10ms"}]}`,
+			want: "unknown graph family",
+		},
+		{
+			name: "poisson without rate",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":2,
+			        "waves":[{"name":"w","clients":1,"arrival":"poisson","duration":"10ms"}]}`,
+			want: "positive rate",
+		},
+		{
+			name: "rate on closed wave",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":2,
+			        "waves":[{"name":"w","clients":1,"rate":5,"duration":"10ms"}]}`,
+			want: "only meaningful",
+		},
+		{
+			name: "unknown arrival",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":2,
+			        "waves":[{"name":"w","clients":1,"arrival":"burst","duration":"10ms"}]}`,
+			want: "unknown arrival",
+		},
+		{
+			name: "zero duration",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":2,
+			        "waves":[{"name":"w","clients":1}]}`,
+			want: "duration must be positive",
+		},
+		{
+			name: "drain before the last wave",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":2,
+			        "waves":[{"name":"w1","clients":1,"duration":"10ms","drain":true},
+			                 {"name":"w2","clients":1,"duration":"10ms"}]}`,
+			want: "only the last wave may drain",
+		},
+		{
+			name: "more sources than vertices",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":11,
+			        "waves":[{"name":"w","clients":1,"duration":"10ms"}]}`,
+			want: "exceeds",
+		},
+		{
+			name: "zero sources",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":0,
+			        "waves":[{"name":"w","clients":1,"duration":"10ms"}]}`,
+			want: "sources must be positive",
+		},
+		{
+			name: "bad batch mix size",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":2,
+			        "batchMix":[{"size":0,"weight":1}],
+			        "waves":[{"name":"w","clients":1,"duration":"10ms"}]}`,
+			want: "size must be positive",
+		},
+		{
+			name: "paths without trackPaths",
+			json: `{"name":"t","graph":{"family":"cycle","n":10},"sources":2,
+			        "batchMix":[{"size":1,"weight":1,"paths":true}],
+			        "waves":[{"name":"w","clients":1,"duration":"10ms"}]}`,
+			want: "trackPaths",
+		},
+		{
+			name: "grid without dims",
+			json: `{"name":"t","graph":{"family":"grid"},"sources":2,
+			        "waves":[{"name":"w","clients":1,"duration":"10ms"}]}`,
+			want: "rows and cols",
+		},
+		{
+			name: "trailing data",
+			json: validPlanJSON + `{"second": "doc"}`,
+			want: "trailing data",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePlan(strings.NewReader(tc.json))
+			if err == nil {
+				t.Fatalf("plan accepted, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	var d Duration
+	if err := d.UnmarshalJSON([]byte(`"1.5s"`)); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(d) != 1500*time.Millisecond {
+		t.Fatalf("parsed %v, want 1.5s", time.Duration(d))
+	}
+	if err := d.UnmarshalJSON([]byte(`250`)); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(d) != 250*time.Millisecond {
+		t.Fatalf("numeric duration = %v, want 250ms (milliseconds)", time.Duration(d))
+	}
+	b, err := Duration(2 * time.Second).MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"2s"` {
+		t.Fatalf("marshal = %s, want \"2s\"", b)
+	}
+}

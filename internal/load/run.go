@@ -1,0 +1,679 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"msrp/internal/bench"
+	"msrp/internal/server"
+)
+
+// Target is the endpoint a plan runs against.
+type Target struct {
+	// BaseURL is the msrp-serve endpoint ("http://127.0.0.1:8080").
+	BaseURL string
+	// Client overrides the HTTP client (nil = a keep-alive pooled
+	// default sized for the plan's largest wave).
+	Client *http.Client
+	// Pid, when positive, is the serving process: its peak RSS is
+	// sampled from /proc, and a drain wave SIGTERMs it unless DrainFn
+	// is set.
+	Pid int
+	// DrainFn, when set, triggers the graceful drain instead of a
+	// signal — the in-process hook (server.Server.SetDraining) tests
+	// use.
+	DrainFn func() error
+}
+
+func (t *Target) drain() error {
+	if t.DrainFn != nil {
+		return t.DrainFn()
+	}
+	if t.Pid > 0 {
+		p, err := os.FindProcess(t.Pid)
+		if err != nil {
+			return err
+		}
+		return p.Signal(syscall.SIGTERM)
+	}
+	return fmt.Errorf("load: drain wave needs a target pid or drain hook")
+}
+
+// Options tunes a run.
+type Options struct {
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// StatsDelta is the change in the server's /v1/stats counters across
+// one wave — the server's own account of what the wave did to it.
+type StatsDelta struct {
+	Batches       int64 `json:"batches"`
+	BatchQueries  int64 `json:"batchQueries"`
+	Builds        int64 `json:"builds"`
+	Rejections    int64 `json:"rejections"`
+	Cancellations int64 `json:"cancellations"`
+	Evictions     int64 `json:"evictions"`
+}
+
+// StatsGauges is the point-in-time server state recorded with a run:
+// the /v1/stats gauges the ROADMAP tracks at serving scale.
+type StatsGauges struct {
+	CachedSources                 int     `json:"cachedSources"`
+	ProvenanceBytes               int64   `json:"provenanceBytes"`
+	WarmStageBuildMillis          float64 `json:"warmStageBuildMillis"`
+	WarmStageSeedEnumerateMillis  float64 `json:"warmStageSeedEnumerateMillis"`
+	WarmStageSeedMergeMillis      float64 `json:"warmStageSeedMergeMillis"`
+	WarmStageCenterLandmarkMillis float64 `json:"warmStageCenterLandmarkMillis"`
+	WarmStageAssemblyMillis       float64 `json:"warmStageAssemblyMillis"`
+}
+
+// DrainResult records the graceful-drain observation of a drain wave.
+type DrainResult struct {
+	// TriggeredAtMillis is the drain trigger's offset into the wave.
+	TriggeredAtMillis float64 `json:"triggeredAtMillis"`
+	// Healthz503Observed reports whether /healthz flipped to 503 after
+	// the trigger (the load-balancer signal the drain exists for).
+	Healthz503Observed bool `json:"healthz503Observed"`
+	// Healthz503Millis is the trigger→first-503 latency.
+	Healthz503Millis float64 `json:"healthz503Millis"`
+	// CompletedAfterDrain counts 2xx answers that landed after the
+	// trigger — in-flight and still-routed work completing, not being
+	// dropped.
+	CompletedAfterDrain int64 `json:"completedAfterDrain"`
+	// ServerErrorsAfterDrain counts 5xx after the trigger (graceful
+	// degradation means zero).
+	ServerErrorsAfterDrain int64 `json:"serverErrorsAfterDrain"`
+}
+
+// WaveResult is the recorded outcome of one wave.
+type WaveResult struct {
+	Name           string  `json:"name"`
+	Clients        int     `json:"clients"`
+	Arrival        string  `json:"arrival"`
+	Rate           float64 `json:"rate,omitempty"`
+	DurationMillis float64 `json:"durationMillis"`
+
+	// OfferedBatches counts batch requests actually sent (including
+	// retries); OfferedQueries the individual queries inside them.
+	OfferedBatches int64 `json:"offeredBatches"`
+	OfferedQueries int64 `json:"offeredQueries"`
+	// Completed counts 2xx batch responses; CompletedQueries their
+	// individual answers.
+	Completed        int64 `json:"completed"`
+	CompletedQueries int64 `json:"completedQueries"`
+	// Rejected counts 429s (admission control working as designed);
+	// ClientErrors other 4xx; ServerErrors 5xx (must stay zero);
+	// TransportErrors requests that never got an HTTP response.
+	Rejected        int64 `json:"rejected"`
+	ClientErrors    int64 `json:"clientErrors"`
+	ServerErrors    int64 `json:"serverErrors"`
+	TransportErrors int64 `json:"transportErrors"`
+	// Overflowed counts poisson arrivals dropped because every client
+	// slot was busy (offered load the harness itself had to shed).
+	Overflowed int64 `json:"overflowed,omitempty"`
+
+	// Retry-After obedience: Retries counts batches re-sent after
+	// honoring the advertised backoff, RetryWaitMillis the total time
+	// spent honoring it, RetryAfterMeanSecs the mean advertised value.
+	Retries            int64   `json:"retries"`
+	RetryWaitMillis    float64 `json:"retryWaitMillis"`
+	RetryAfterMeanSecs float64 `json:"retryAfterMeanSecs"`
+
+	// ThroughputRPS is completed batches per second; QueryRPS completed
+	// queries per second; RejectionRate rejected over offered batches.
+	ThroughputRPS float64 `json:"throughputRPS"`
+	QueryRPS      float64 `json:"queryRPS"`
+	RejectionRate float64 `json:"rejectionRate"`
+
+	// Latency summarizes accepted (2xx) batch latencies only — the
+	// experience of admitted traffic, which must stay bounded while
+	// rejected traffic rises.
+	Latency bench.LatencyMillis `json:"latency"`
+
+	Drain *DrainResult `json:"drain,omitempty"`
+	Stats *StatsDelta  `json:"stats,omitempty"`
+}
+
+// Result is a full run, the Data payload of a BENCH_*.json envelope.
+type Result struct {
+	Plan       *Plan        `json:"plan"`
+	Target     string       `json:"target"`
+	StartedAt  time.Time    `json:"startedAt"`
+	WarmMillis float64      `json:"warmMillis,omitempty"`
+	Waves      []WaveResult `json:"waves"`
+	// Server is the last successful /v1/stats gauge scrape.
+	Server *StatsGauges `json:"server,omitempty"`
+	// PeakRSSBytes is the serving process's VmHWM high-water mark (0
+	// when no pid was attached or /proc is unavailable).
+	PeakRSSBytes int64 `json:"peakRSSBytes,omitempty"`
+	// ServerErrors totals 5xx across all waves; a healthy run records 0.
+	ServerErrors int64 `json:"serverErrors"`
+}
+
+// Run executes the plan against the target. The returned Result is
+// complete even when the run observed failures (5xx, missing drain
+// flip); the caller decides what is fatal. The error is reserved for
+// the harness itself failing (bad plan graph, no sources, warm-up
+// never admitted).
+func Run(ctx context.Context, plan *Plan, tgt *Target, opt Options) (*Result, error) {
+	gen, _, err := NewQueryGen(plan)
+	if err != nil {
+		return nil, err
+	}
+	client := tgt.Client
+	if client == nil {
+		maxClients := 0
+		for _, w := range plan.Waves {
+			if w.Clients > maxClients {
+				maxClients = w.Clients
+			}
+		}
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        maxClients + 16,
+			MaxIdleConnsPerHost: maxClients + 16,
+		}}
+	}
+	r := &runner{
+		plan:   plan,
+		tgt:    tgt,
+		gen:    gen,
+		client: client,
+		opt:    opt,
+	}
+
+	res := &Result{Plan: plan, Target: tgt.BaseURL, StartedAt: time.Now().UTC().Truncate(time.Millisecond)}
+
+	// Peak-RSS sampler: poll the serving process's high-water mark for
+	// the whole run (VmHWM is kernel-maintained, so sampling cadence
+	// only matters for catching it before the process exits).
+	var peakRSS atomic.Int64
+	rssDone := make(chan struct{})
+	rssStopped := make(chan struct{})
+	go func() {
+		defer close(rssStopped)
+		for {
+			if v := peakRSSBytes(tgt.Pid); v > peakRSS.Load() {
+				peakRSS.Store(v)
+			}
+			select {
+			case <-rssDone:
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+	}()
+	defer func() {
+		close(rssDone)
+		<-rssStopped
+		res.PeakRSSBytes = peakRSS.Load()
+	}()
+
+	// Warm-up phase: run the §8 batch pipeline once before offering
+	// load, so waves measure serving, not first-touch builds.
+	if plan.Warm {
+		opt.logf("warm-up: POST /v1/warm")
+		start := time.Now()
+		if err := r.warm(ctx); err != nil {
+			return nil, fmt.Errorf("load: warm-up: %w", err)
+		}
+		res.WarmMillis = millisOf(time.Since(start))
+		opt.logf("warm-up done in %.0fms", res.WarmMillis)
+	}
+
+	for i := range plan.Waves {
+		wave := &plan.Waves[i]
+		before, beforeOK := r.scrapeStats(ctx)
+		opt.logf("wave %q: %d clients, %s arrival, %v", wave.Name, wave.Clients, arrivalOf(wave), time.Duration(wave.Duration))
+		wr, err := r.runWave(ctx, wave)
+		if err != nil {
+			return nil, err
+		}
+		if after, ok := r.scrapeStats(ctx); ok {
+			if beforeOK {
+				wr.Stats = &StatsDelta{
+					Batches:       after.Batches - before.Batches,
+					BatchQueries:  after.BatchQueries - before.BatchQueries,
+					Builds:        after.Builds - before.Builds,
+					Rejections:    after.Rejections - before.Rejections,
+					Cancellations: after.Cancellations - before.Cancellations,
+					Evictions:     after.Evictions - before.Evictions,
+				}
+			}
+			res.Server = &StatsGauges{
+				CachedSources:                 after.CachedSources,
+				ProvenanceBytes:               after.ProvenanceBytes,
+				WarmStageBuildMillis:          after.WarmStageBuildMillis,
+				WarmStageSeedEnumerateMillis:  after.WarmStageSeedEnumerateMillis,
+				WarmStageSeedMergeMillis:      after.WarmStageSeedMergeMillis,
+				WarmStageCenterLandmarkMillis: after.WarmStageCenterLandmarkMillis,
+				WarmStageAssemblyMillis:       after.WarmStageAssemblyMillis,
+			}
+		}
+		res.ServerErrors += wr.ServerErrors
+		res.Waves = append(res.Waves, *wr)
+		opt.logf("wave %q: offered=%d completed=%d rejected=%d (%.1f%%) 5xx=%d p99=%.2fms",
+			wave.Name, wr.OfferedBatches, wr.Completed, wr.Rejected, 100*wr.RejectionRate,
+			wr.ServerErrors, wr.Latency.P99)
+	}
+	return res, nil
+}
+
+func arrivalOf(w *Wave) string {
+	if w.Arrival == "" {
+		return ArrivalClosed
+	}
+	return w.Arrival
+}
+
+type runner struct {
+	plan   *Plan
+	tgt    *Target
+	gen    *QueryGen
+	client *http.Client
+	opt    Options
+}
+
+// warm posts /v1/warm, honoring Retry-After if another warm is in
+// flight. A σn² pipeline can legitimately take minutes, so the request
+// runs on a generous timeout independent of the per-query one.
+func (r *runner) warm(ctx context.Context) error {
+	for attempt := 0; attempt < 10; attempt++ {
+		wctx, cancel := context.WithTimeout(ctx, 15*time.Minute)
+		req, err := http.NewRequestWithContext(wctx, http.MethodPost, r.tgt.BaseURL+"/v1/warm", nil)
+		if err != nil {
+			cancel()
+			return err
+		}
+		resp, err := r.client.Do(req)
+		if err != nil {
+			cancel()
+			return err
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		cancel()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			backoff := retryAfterOf(resp, time.Second)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		default:
+			return fmt.Errorf("warm: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+	}
+	return fmt.Errorf("warm: still rejected after 10 attempts")
+}
+
+func retryAfterOf(resp *http.Response, fallback time.Duration) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return fallback
+}
+
+func (r *runner) scrapeStats(ctx context.Context) (*server.StatsResponse, bool) {
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, r.tgt.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, false
+	}
+	return &st, true
+}
+
+// worker is one client slot's private state; merged at wave end so the
+// hot path takes no locks.
+type worker struct {
+	stream *Stream
+	sketch Sketch
+
+	offeredBatches, offeredQueries int64
+	completed, completedQueries    int64
+	rejected                       int64
+	clientErrors                   int64
+	serverErrors                   int64
+	transportErrors                int64
+	retries                        int64
+	retryWait                      time.Duration
+	retryAfterSecs                 int64
+	lastRetryAfterSecs             int64
+
+	completedAfterDrain    int64
+	serverErrorsAfterDrain int64
+}
+
+// waveClock shares the wave's deadline and drain instant with every
+// worker.
+type waveClock struct {
+	deadline time.Time
+	drainAt  atomic.Int64 // unixnano; 0 = not triggered
+}
+
+func (c *waveClock) afterDrain(t time.Time) bool {
+	at := c.drainAt.Load()
+	return at != 0 && t.UnixNano() >= at
+}
+
+func (r *runner) runWave(ctx context.Context, wave *Wave) (*WaveResult, error) {
+	dur := time.Duration(wave.Duration)
+	clock := &waveClock{deadline: time.Now().Add(dur)}
+	wr := &WaveResult{
+		Name:           wave.Name,
+		Clients:        wave.Clients,
+		Arrival:        arrivalOf(wave),
+		Rate:           wave.Rate,
+		DurationMillis: millisOf(dur),
+	}
+
+	// Mid-wave drain: trigger at the midpoint, then watch /healthz for
+	// the 503 flip from a poller that never counts into the traffic
+	// metrics.
+	var drainTimer *time.Timer
+	var drainDone chan struct{}
+	if wave.Drain {
+		wr.Drain = &DrainResult{}
+		drainDone = make(chan struct{})
+		waveStart := time.Now()
+		drainTimer = time.AfterFunc(dur/2, func() {
+			defer close(drainDone)
+			now := time.Now()
+			clock.drainAt.Store(now.UnixNano())
+			wr.Drain.TriggeredAtMillis = millisOf(now.Sub(waveStart))
+			r.opt.logf("wave %q: triggering drain at +%.0fms", wave.Name, wr.Drain.TriggeredAtMillis)
+			if err := r.tgt.drain(); err != nil {
+				r.opt.logf("wave %q: drain trigger failed: %v", wave.Name, err)
+				return
+			}
+			// Poll until the flip or the wave's end.
+			for time.Now().Before(clock.deadline) {
+				code, ok := r.getHealthz()
+				if ok && code == http.StatusServiceUnavailable {
+					wr.Drain.Healthz503Observed = true
+					wr.Drain.Healthz503Millis = millisOf(time.Since(now))
+					r.opt.logf("wave %q: /healthz flipped to 503 after %.0fms", wave.Name, wr.Drain.Healthz503Millis)
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+
+	workers := make([]*worker, wave.Clients)
+	for i := range workers {
+		workers[i] = &worker{stream: r.gen.Stream(r.plan.Seed, i)}
+	}
+
+	var overflowed atomic.Int64
+	switch arrivalOf(wave) {
+	case ArrivalClosed:
+		var wg sync.WaitGroup
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				r.closedLoop(ctx, w, wave, clock)
+			}(w)
+		}
+		wg.Wait()
+	case ArrivalPoisson:
+		// Open arrivals: a dispatcher paces exponential inter-arrival
+		// gaps; each arrival grabs a free client slot or is shed
+		// client-side (overflowed) — never queued, mirroring the
+		// server's own never-queue admission stance.
+		pool := make(chan *worker, len(workers))
+		for _, w := range workers {
+			pool <- w
+		}
+		pace := r.gen.Stream(r.plan.Seed, -1) // rng for inter-arrival gaps
+		var wg sync.WaitGroup
+		next := time.Now()
+		for {
+			now := time.Now()
+			if !now.Before(clock.deadline) || ctx.Err() != nil {
+				break
+			}
+			if now.Before(next) {
+				time.Sleep(time.Until(next))
+			}
+			// Exponential gap at rate arrivals/sec.
+			u := pace.rng.Float64()
+			for u == 0 {
+				u = pace.rng.Float64()
+			}
+			gap := time.Duration(-1e9 * math.Log(u) / wave.Rate)
+			next = next.Add(gap)
+			select {
+			case w := <-pool:
+				wg.Add(1)
+				go func(w *worker) {
+					defer wg.Done()
+					r.doBatch(ctx, w, w.stream.Batch(), wave, clock)
+					pool <- w
+				}(w)
+			default:
+				overflowed.Add(1)
+			}
+		}
+		wg.Wait() // in-flight arrivals complete past the deadline
+	}
+	if drainTimer != nil {
+		if !drainTimer.Stop() {
+			<-drainDone // fired: wait for the poller before reading wr.Drain
+		}
+	}
+
+	// Merge worker-private metrics.
+	for _, w := range workers {
+		wr.OfferedBatches += w.offeredBatches
+		wr.OfferedQueries += w.offeredQueries
+		wr.Completed += w.completed
+		wr.CompletedQueries += w.completedQueries
+		wr.Rejected += w.rejected
+		wr.ClientErrors += w.clientErrors
+		wr.ServerErrors += w.serverErrors
+		wr.TransportErrors += w.transportErrors
+		wr.Retries += w.retries
+		wr.RetryWaitMillis += millisOf(w.retryWait)
+		wr.RetryAfterMeanSecs += float64(w.retryAfterSecs)
+		if wr.Drain != nil {
+			wr.Drain.CompletedAfterDrain += w.completedAfterDrain
+			wr.Drain.ServerErrorsAfterDrain += w.serverErrorsAfterDrain
+		}
+	}
+	var merged Sketch
+	for _, w := range workers {
+		merged.Merge(&w.sketch)
+	}
+	wr.Latency = merged.Summary()
+	wr.Overflowed = overflowed.Load()
+	if wr.Rejected > 0 {
+		wr.RetryAfterMeanSecs /= float64(wr.Rejected)
+	} else {
+		wr.RetryAfterMeanSecs = 0
+	}
+	secs := dur.Seconds()
+	wr.ThroughputRPS = float64(wr.Completed) / secs
+	wr.QueryRPS = float64(wr.CompletedQueries) / secs
+	if wr.OfferedBatches > 0 {
+		wr.RejectionRate = float64(wr.Rejected) / float64(wr.OfferedBatches)
+	}
+	return wr, ctx.Err()
+}
+
+// closedLoop drives one closed-loop client until the wave deadline:
+// send, wait, repeat — honoring Retry-After on 429 (and retrying the
+// same batch) unless the wave opts out.
+func (r *runner) closedLoop(ctx context.Context, w *worker, wave *Wave, clock *waveClock) {
+	obey := wave.Obey()
+	for time.Now().Before(clock.deadline) && ctx.Err() == nil {
+		req := w.stream.Batch()
+		for {
+			outcome := r.doBatch(ctx, w, req, wave, clock)
+			if outcome != outcomeRejected || !obey {
+				break
+			}
+			// Honor Retry-After, then retry the same batch; give up on
+			// the retry if the backoff crosses the wave deadline.
+			backoff := time.Duration(w.lastRetryAfterSecs) * time.Second
+			remain := time.Until(clock.deadline)
+			if backoff > remain {
+				w.retryWait += remain
+				time.Sleep(remain)
+				return
+			}
+			w.retryWait += backoff
+			time.Sleep(backoff)
+			w.retries++
+		}
+	}
+}
+
+type outcome int
+
+const (
+	outcomeCompleted outcome = iota
+	outcomeRejected
+	outcomeClientError
+	outcomeServerError
+	outcomeTransportError
+)
+
+// doBatch sends one batch and records its fate on the worker.
+func (r *runner) doBatch(ctx context.Context, w *worker, req server.QueryRequest, wave *Wave, clock *waveClock) outcome {
+	body, err := json.Marshal(req)
+	if err != nil {
+		panic("load: marshal query batch: " + err.Error()) // plan-shaped data; cannot fail
+	}
+	w.offeredBatches++
+	w.offeredQueries += int64(len(req.Queries))
+
+	qctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(qctx, http.MethodPost, r.tgt.BaseURL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		w.transportErrors++
+		return outcomeTransportError
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := r.client.Do(httpReq)
+	if err != nil {
+		w.transportErrors++
+		// After a drain closes the listener every send fails instantly;
+		// don't spin the CPU on connection-refused.
+		time.Sleep(20 * time.Millisecond)
+		return outcomeTransportError
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	lat := time.Since(start)
+	end := time.Now()
+
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		w.completed++
+		w.completedQueries += int64(len(req.Queries))
+		w.sketch.Add(lat)
+		if clock.afterDrain(end) {
+			w.completedAfterDrain++
+		}
+		return outcomeCompleted
+	case resp.StatusCode == http.StatusTooManyRequests:
+		w.rejected++
+		secs := int64(retryAfterOf(resp, time.Second) / time.Second)
+		w.retryAfterSecs += secs
+		w.lastRetryAfterSecs = secs
+		return outcomeRejected
+	case resp.StatusCode >= 500:
+		w.serverErrors++
+		if clock.afterDrain(end) {
+			w.serverErrorsAfterDrain++
+		}
+		return outcomeServerError
+	default:
+		w.clientErrors++
+		return outcomeClientError
+	}
+}
+
+func (r *runner) getHealthz() (int, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.tgt.BaseURL+"/healthz", nil)
+	if err != nil {
+		return 0, false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, true
+}
+
+// peakRSSBytes reads the process's VmHWM (peak resident set) from
+// /proc; 0 when unavailable (non-linux, process gone, no pid).
+func peakRSSBytes(pid int) int64 {
+	if pid <= 0 {
+		return 0
+	}
+	b, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

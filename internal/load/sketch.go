@@ -1,0 +1,134 @@
+package load
+
+import (
+	"math"
+	"time"
+
+	"msrp/internal/bench"
+)
+
+// Sketch is a streaming latency-percentile sketch: a geometric
+// histogram with ~8% relative bucket width, constant memory, O(1)
+// insert, and mergeable across clients — so a wave of thousands of
+// concurrent clients records percentiles without retaining a sample
+// per request. Not safe for concurrent use; give each client its own
+// and Merge at wave end.
+type Sketch struct {
+	counts [sketchBuckets]int64
+	count  int64
+	sum    time.Duration
+	max    time.Duration
+}
+
+const (
+	// sketchBase is the resolution floor: everything at or below 1µs
+	// lands in bucket 0.
+	sketchBase = time.Microsecond
+	// sketchGamma is the bucket growth factor; quantiles are accurate
+	// to ±(gamma-1)/2 relative error.
+	sketchGamma = 1.08
+	// sketchBuckets covers 1µs·1.08^254 ≈ 3.2e8 µs ≈ 5 minutes; the
+	// last bucket absorbs anything slower.
+	sketchBuckets = 256
+)
+
+var logGamma = math.Log(sketchGamma)
+
+// bucketOf maps a latency to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= sketchBase {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(sketchBase))/logGamma) + 1
+	if i >= sketchBuckets {
+		return sketchBuckets - 1
+	}
+	return i
+}
+
+// valueOf returns the representative latency of a bucket (its
+// geometric midpoint).
+func valueOf(i int) time.Duration {
+	if i == 0 {
+		return sketchBase
+	}
+	return time.Duration(float64(sketchBase) * math.Pow(sketchGamma, float64(i)-0.5))
+}
+
+// Add records one latency.
+func (s *Sketch) Add(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.counts[bucketOf(d)]++
+	s.count++
+	s.sum += d
+	if d > s.max {
+		s.max = d
+	}
+}
+
+// Merge folds other into s.
+func (s *Sketch) Merge(other *Sketch) {
+	for i, c := range other.counts {
+		s.counts[i] += c
+	}
+	s.count += other.count
+	s.sum += other.sum
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// Count returns how many latencies were recorded.
+func (s *Sketch) Count() int64 { return s.count }
+
+// Quantile returns the latency at quantile q in [0, 1], or 0 when
+// empty. The exact observed maximum is returned for q == 1.
+func (s *Sketch) Quantile(q float64) time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return s.max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := int64(math.Ceil(q * float64(s.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.counts {
+		seen += c
+		if seen >= rank {
+			v := valueOf(i)
+			if v > s.max {
+				return s.max
+			}
+			return v
+		}
+	}
+	return s.max
+}
+
+// Summary renders the sketch as the shared wire shape.
+func (s *Sketch) Summary() bench.LatencyMillis {
+	mean := 0.0
+	if s.count > 0 {
+		mean = millisOf(s.sum) / float64(s.count)
+	}
+	return bench.LatencyMillis{
+		Count: s.count,
+		Mean:  mean,
+		P50:   millisOf(s.Quantile(0.50)),
+		P95:   millisOf(s.Quantile(0.95)),
+		P99:   millisOf(s.Quantile(0.99)),
+		Max:   millisOf(s.max),
+	}
+}
+
+func millisOf(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}

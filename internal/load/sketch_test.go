@@ -1,0 +1,69 @@
+package load
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSketchQuantiles(t *testing.T) {
+	var s Sketch
+	// 1..1000 ms uniform: p50 ≈ 500ms, p99 ≈ 990ms within the sketch's
+	// ~8% relative error.
+	for i := 1; i <= 1000; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	if s.Count() != 1000 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	check := func(q, wantMs float64) {
+		got := float64(s.Quantile(q)) / float64(time.Millisecond)
+		if math.Abs(got-wantMs)/wantMs > 0.10 {
+			t.Fatalf("q%.2f = %.1fms, want %.0fms ±10%%", q, got, wantMs)
+		}
+	}
+	check(0.50, 500)
+	check(0.95, 950)
+	check(0.99, 990)
+	if got := s.Quantile(1); got != time.Second {
+		t.Fatalf("q1 = %v, want the exact max 1s", got)
+	}
+	// Monotonicity.
+	if !(s.Quantile(0.5) <= s.Quantile(0.95) && s.Quantile(0.95) <= s.Quantile(0.99) &&
+		s.Quantile(0.99) <= s.Quantile(1)) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestSketchMergeMatchesCombined(t *testing.T) {
+	var a, b, all Sketch
+	for i := 1; i <= 500; i++ {
+		d := time.Duration(i) * 37 * time.Microsecond
+		if i%2 == 0 {
+			a.Add(d)
+		} else {
+			b.Add(d)
+		}
+		all.Add(d)
+	}
+	a.Merge(&b)
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("merged q%.2f = %v, combined = %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), all.Count())
+	}
+}
+
+func TestSketchEmpty(t *testing.T) {
+	var s Sketch
+	if s.Quantile(0.5) != 0 || s.Count() != 0 {
+		t.Fatal("empty sketch must report zeros")
+	}
+	sum := s.Summary()
+	if sum.Count != 0 || sum.P99 != 0 || sum.Mean != 0 {
+		t.Fatalf("empty summary = %+v", sum)
+	}
+}

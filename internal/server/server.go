@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"msrp"
@@ -82,7 +83,19 @@ type Server struct {
 	numSources   int           // cached σ (the oracle's source set is immutable)
 	queries      chan struct{} // in-flight /v1/query slots (nil = unbounded)
 	warms        chan struct{} // in-flight /v1/warm slots (nil = unbounded)
+	draining     atomic.Bool   // /healthz reports 503 while set (graceful drain)
 }
+
+// SetDraining flips the drain flag reported by /healthz. A front-end
+// beginning a graceful shutdown sets it the moment drain starts — before
+// the listener closes — so a load balancer polling /healthz stops
+// routing new traffic to this replica while its in-flight requests
+// complete. The query/warm/stats endpoints are unaffected: already-
+// routed requests are served normally for the whole drain window.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is in its drain window.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // New wraps the oracle in an HTTP front-end with the given admission
 // configuration.
@@ -266,12 +279,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		status := http.StatusBadRequest
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			status = http.StatusRequestEntityTooLarge
+			// 413, not a generic decode 400 — and tell the client the
+			// actual cap so it can split the batch instead of guessing.
+			writeJSON(w, http.StatusRequestEntityTooLarge, struct {
+				Error        string `json:"error"`
+				MaxBodyBytes int64  `json:"maxBodyBytes"`
+			}{
+				Error:        fmt.Sprintf("request body exceeds the %d-byte cap; split the batch", s.maxBody),
+				MaxBodyBytes: s.maxBody,
+			})
+			return
 		}
-		writeJSON(w, status, QueryResponse{Error: "bad request body: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	// Cheap-reject garbage before admission: an empty batch must not
+	// consume an in-flight slot on its way to a 400, or a flood of them
+	// starves real queries of budget.
+	if len(req.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: `empty batch: "queries" must contain at least one item`})
 		return
 	}
 
@@ -435,6 +463,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		// The drain window: the process is still serving in-flight
+		// traffic but must stop receiving new routes now, not when the
+		// listener finally dies.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
 }

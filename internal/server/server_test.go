@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -147,7 +148,8 @@ func TestQueryEndpointUnknownSource(t *testing.T) {
 }
 
 // TestQueryEndpointBodyTooLarge: an oversized body is refused with 413
-// before it can occupy an admission slot or memory.
+// before it can occupy an admission slot or memory, and the error JSON
+// carries the actual cap so the client can split the batch.
 func TestQueryEndpointBodyTooLarge(t *testing.T) {
 	srv, _, _ := newTestServer(t, Config{MaxBodyBytes: 128})
 	big := `{"queries":[` + strings.Repeat(`{"source":0,"target":1,"u":0,"v":1},`, 100) +
@@ -157,6 +159,112 @@ func TestQueryEndpointBodyTooLarge(t *testing.T) {
 	srv.ServeHTTP(rec, req)
 	if rec.Code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status = %d, want 413", rec.Code)
+	}
+	var hint struct {
+		Error        string `json:"error"`
+		MaxBodyBytes int64  `json:"maxBodyBytes"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &hint); err != nil {
+		t.Fatalf("413 body is not JSON: %v (%s)", err, rec.Body)
+	}
+	if hint.MaxBodyBytes != 128 || hint.Error == "" {
+		t.Fatalf("413 hint = %+v, want maxBodyBytes=128 and an error message", hint)
+	}
+}
+
+// TestBadTrafficDoesNotConsumeAdmission: malformed and empty batches
+// are rejected before acquire(s.queries), so even with every in-flight
+// slot occupied they come back as client errors — never 429 — and a
+// flood of them cannot starve a real query of budget.
+func TestBadTrafficDoesNotConsumeAdmission(t *testing.T) {
+	srv, oracle, sources := newTestServer(t, Config{MaxInFlight: 1, MaxBodyBytes: 256})
+
+	// Occupy the only slot: if any of the bad requests below tried to
+	// take it, they would see 429 instead of their client error.
+	srv.queries <- struct{}{}
+	if rec := postJSON(t, srv, "/v1/query", QueryRequest{}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch with slots full: status = %d, want 400 (body %s)", rec.Code, rec.Body)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader("{not json"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON with slots full: status = %d, want 400", rec.Code)
+	}
+	big := `{"queries":[` + strings.Repeat(`{"source":0,"target":1,"u":0,"v":1},`, 20) + `]}`
+	req = httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(big))
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body with slots full: status = %d, want 413", rec.Code)
+	}
+	if got := oracle.Stats().Rejections; got != 0 {
+		t.Fatalf("bad traffic recorded %d rejections, want 0 (it must not reach admission)", got)
+	}
+	<-srv.queries
+
+	// Flood garbage concurrently while real queries go through on the
+	// single slot: every good request must be admitted (200, never 429).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				postJSON(t, srv, "/v1/query", QueryRequest{})
+			}
+		}()
+	}
+	items := validQueries(t, oracle, sources)
+	for i := 0; i < 20; i++ {
+		if rec := postJSON(t, srv, "/v1/query", QueryRequest{Queries: items}); rec.Code != http.StatusOK {
+			t.Fatalf("good query %d behind garbage flood: status = %d, want 200 (body %s)", i, rec.Code, rec.Body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestHealthzDrainAware: the moment SetDraining flips, /healthz must
+// report 503 — while the query endpoints keep serving the in-flight
+// window — and flipping back restores 200.
+func TestHealthzDrainAware(t *testing.T) {
+	srv, oracle, sources := newTestServer(t, Config{})
+	getHealthz := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+
+	if rec := getHealthz(); rec.Code != http.StatusOK {
+		t.Fatalf("healthz before drain = %d, want 200", rec.Code)
+	}
+	srv.SetDraining(true)
+	if !srv.Draining() {
+		t.Fatal("Draining() = false after SetDraining(true)")
+	}
+	rec := getHealthz()
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain = %d, want 503", rec.Code)
+	}
+	if !strings.HasPrefix(rec.Body.String(), "draining") {
+		t.Fatalf("healthz drain body = %q, want \"draining\"", rec.Body.String())
+	}
+	// Routed traffic still completes during the drain window.
+	items := validQueries(t, oracle, sources)
+	if rec := postJSON(t, srv, "/v1/query", QueryRequest{Queries: items}); rec.Code != http.StatusOK {
+		t.Fatalf("query during drain = %d, want 200 (body %s)", rec.Code, rec.Body)
+	}
+	srv.SetDraining(false)
+	if rec := getHealthz(); rec.Code != http.StatusOK {
+		t.Fatalf("healthz after drain cleared = %d, want 200", rec.Code)
 	}
 }
 
