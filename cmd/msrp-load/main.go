@@ -1,12 +1,17 @@
 // Command msrp-load executes a declarative load plan (internal/load)
 // against an msrp-serve endpoint and records a machine-readable result.
 //
-// Two modes:
+// Three modes:
 //
 //   - spawn (default): regenerate the plan's graph, boot a private
 //     msrp-serve on a free port with the plan's server knobs, run the
 //     waves, then drain it. The full lifecycle — including a mid-wave
 //     SIGTERM for drain waves — is owned by the harness.
+//   - router (plan.router set): spawn a fleet of msrp-serve replicas
+//     plus an in-process replica-sharded router (internal/router), run
+//     the waves through the router, and wire the plan's chaos stages
+//     (kill/term/stall/restart a replica mid-wave) to the fleet
+//     manager. The E17 failover experiment runs this way.
 //   - external (-target): drive an already-running endpoint. Drain
 //     waves then need -drain-pid so the harness can deliver SIGTERM
 //     (which also enables peak-RSS sampling from /proc).
@@ -14,12 +19,14 @@
 // Usage:
 //
 //	msrp-load -plan plans/micro.json -out BENCH_E16.json
-//	msrp-load -plan plans/saturation.json -serve-bin ./msrp-serve -v
+//	msrp-load -plan plans/router-chaos.json -out BENCH_E17.json -v
 //	msrp-load -plan plans/micro.json -target http://127.0.0.1:8080
 //
 // Exit status is non-zero when the harness itself fails, when any wave
-// observed a 5xx (unless -fail-on-5xx=false), or when a drain wave
-// never saw /healthz flip to 503.
+// observed a 5xx (unless -fail-on-5xx=false), when a drain wave never
+// saw /healthz flip to 503, or when a disruptive chaos stage (kill,
+// term, restart) produced zero failovers — a chaos run that didn't
+// actually exercise failover proves nothing.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"msrp/internal/bench"
 	"msrp/internal/graph"
 	"msrp/internal/load"
+	"msrp/internal/router"
 )
 
 func main() {
@@ -52,6 +60,7 @@ func run() error {
 		serveBin = flag.String("serve-bin", "msrp-serve", "msrp-serve binary for spawn mode (looked up in PATH)")
 		drainPid = flag.Int("drain-pid", 0, "server pid for drain waves / RSS sampling in -target mode")
 		out      = flag.String("out", "", "write the run record as a BENCH envelope to this file")
+		expName  = flag.String("experiment", "", "envelope experiment id (default: E16, or E17 for router plans)")
 		failOn5s = flag.Bool("fail-on-5xx", true, "exit non-zero when any wave observed a 5xx")
 		verbose  = flag.Bool("v", false, "log wave progress to stderr")
 	)
@@ -74,10 +83,23 @@ func run() error {
 	var (
 		tgt     *load.Target
 		spawned *serveProc
+		fleet   *routerFleet
 	)
-	if *target != "" {
+	switch {
+	case *target != "":
 		tgt = &load.Target{BaseURL: *target, Pid: *drainPid}
-	} else {
+	case plan.Router != nil:
+		fleet, err = spawnFleet(plan, *serveBin, opt)
+		if err != nil {
+			return err
+		}
+		defer fleet.cleanup()
+		tgt = &load.Target{
+			BaseURL: fleet.baseURL,
+			ChaosFn: fleet.mgr.Apply,
+			DrainFn: fleet.drain,
+		}
+	default:
 		spawned, err = spawnServe(plan, *serveBin, opt)
 		if err != nil {
 			return err
@@ -105,7 +127,14 @@ func run() error {
 	}
 
 	if *out != "" {
-		env := bench.NewEnvelope("E16", "Load-plan scenario run: "+plan.Name, res)
+		exp := *expName
+		if exp == "" {
+			exp = "E16"
+			if plan.Router != nil {
+				exp = "E17"
+			}
+		}
+		env := bench.NewEnvelope(exp, "Load-plan scenario run: "+plan.Name, res)
 		if err := env.WriteFile(*out); err != nil {
 			return err
 		}
@@ -122,6 +151,47 @@ func run() error {
 			return fmt.Errorf("wave %q drained but /healthz never reported 503", w.Name)
 		}
 	}
+	return judgeChaos(res)
+}
+
+// judgeChaos turns a chaos run that didn't actually exercise the
+// failure machinery into a failure: an injection error is the harness
+// breaking, and a disruptive fault (kill/term/restart) that produced
+// zero failovers means the wave finished without the router ever
+// re-routing an orphaned item — the scenario proved nothing.
+func judgeChaos(res *load.Result) error {
+	var disruptive []string
+	var failovers, handbacks int64
+	sawRestartRecovery := false
+	for _, w := range res.Waves {
+		if w.Router != nil {
+			failovers += w.Router.Failovers
+			handbacks += w.Router.Handbacks
+		}
+		c := w.Chaos
+		if c == nil {
+			continue
+		}
+		if c.Error != "" {
+			return fmt.Errorf("wave %q chaos injection failed: %s", w.Name, c.Error)
+		}
+		switch c.Action {
+		case load.ChaosKill, load.ChaosTerm, load.ChaosRestart:
+			disruptive = append(disruptive, w.Name)
+		}
+		if c.Action == load.ChaosRestart && c.Recovered {
+			sawRestartRecovery = true
+		}
+	}
+	if len(disruptive) > 0 && failovers == 0 {
+		return fmt.Errorf("disruptive chaos in wave(s) %v but the router recorded zero failovers", disruptive)
+	}
+	// A recovered restart must eventually hand the slice back. The
+	// hand-back can land in the wave after the recovery, which is why
+	// this sums across the whole run.
+	if sawRestartRecovery && handbacks == 0 {
+		return fmt.Errorf("a replica restarted and rejoined but the router recorded zero hand-backs")
+	}
 	return nil
 }
 
@@ -134,6 +204,22 @@ func summarize(res *load.Result) {
 			fmt.Printf("wave %-12s drain: healthz503=%v after %.0fms, completedAfterDrain=%d, 5xxAfterDrain=%d\n",
 				w.Name, w.Drain.Healthz503Observed, w.Drain.Healthz503Millis,
 				w.Drain.CompletedAfterDrain, w.Drain.ServerErrorsAfterDrain)
+		}
+		if c := w.Chaos; c != nil {
+			line := fmt.Sprintf("wave %-12s chaos: %s replica %d at %.0fms",
+				w.Name, c.Action, c.Replica, c.TriggeredAtMillis)
+			if c.Recovered {
+				line += fmt.Sprintf(", recovered at %.0fms", c.RecoveredAtMillis)
+			}
+			if c.Error != "" {
+				line += ", INJECTION FAILED: " + c.Error
+			}
+			fmt.Println(line)
+		}
+		if rd := w.Router; rd != nil {
+			fmt.Printf("wave %-12s router: failovers=%d failoverWarms=%d retries=%d routeErrors=%d handbacks=%d replicasUp=%d\n",
+				w.Name, rd.Failovers, rd.FailoverWarms, rd.Retries,
+				rd.RouteErrors, rd.Handbacks, rd.ReplicasUp)
 		}
 	}
 	if res.PeakRSSBytes > 0 {
@@ -153,36 +239,64 @@ type serveProc struct {
 // and boots msrp-serve on a loopback port with the plan's server knobs.
 // Returns once /healthz answers 200.
 func spawnServe(plan *load.Plan, bin string, opt load.Options) (*serveProc, error) {
-	g, err := load.BuildGraph(plan.Graph)
+	graphFile, err := writeGraphFile(plan)
 	if err != nil {
-		return nil, err
-	}
-	f, err := os.CreateTemp("", "msrp-load-*.graph")
-	if err != nil {
-		return nil, err
-	}
-	if err := graph.Encode(g, f); err != nil {
-		f.Close()
-		os.Remove(f.Name())
-		return nil, err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(f.Name())
 		return nil, err
 	}
 
 	port, err := freePort()
 	if err != nil {
-		os.Remove(f.Name())
+		os.Remove(graphFile)
 		return nil, err
 	}
 	addr := net.JoinHostPort("127.0.0.1", strconv.Itoa(port))
 
-	args := []string{
-		"-graph", f.Name(),
-		"-addr", addr,
-		"-auto-sources", strconv.Itoa(plan.Sources),
+	args := append([]string{"-graph", graphFile, "-addr", addr}, serveArgs(plan)...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		os.Remove(graphFile)
+		return nil, fmt.Errorf("spawn %s: %w", bin, err)
 	}
+	if opt.Logf != nil {
+		opt.Logf("spawned %s (pid %d) on %s", bin, cmd.Process.Pid, addr)
+	}
+
+	p := &serveProc{cmd: cmd, baseURL: "http://" + addr, graphFile: graphFile}
+	if err := p.waitHealthy(30 * time.Second); err != nil {
+		p.cleanup()
+		return nil, err
+	}
+	return p, nil
+}
+
+// writeGraphFile regenerates the plan's graph into a temp file the
+// spawned server(s) can load. The caller owns (and removes) the file.
+func writeGraphFile(plan *load.Plan) (string, error) {
+	g, err := load.BuildGraph(plan.Graph)
+	if err != nil {
+		return "", err
+	}
+	f, err := os.CreateTemp("", "msrp-load-*.graph")
+	if err != nil {
+		return "", err
+	}
+	if err := graph.Encode(g, f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", err
+	}
+	return f.Name(), nil
+}
+
+// serveArgs translates the plan's server knobs into msrp-serve flags
+// (everything except -graph and -addr, which are per-process).
+func serveArgs(plan *load.Plan) []string {
+	args := []string{"-auto-sources", strconv.Itoa(plan.Sources)}
 	if plan.TrackPaths {
 		args = append(args, "-track-paths")
 	}
@@ -203,22 +317,7 @@ func spawnServe(plan *load.Plan, bin string, opt load.Options) (*serveProc, erro
 			args = append(args, "-shutdown-grace", d.String())
 		}
 	}
-	cmd := exec.Command(bin, args...)
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		os.Remove(f.Name())
-		return nil, fmt.Errorf("spawn %s: %w", bin, err)
-	}
-	if opt.Logf != nil {
-		opt.Logf("spawned %s (pid %d) on %s", bin, cmd.Process.Pid, addr)
-	}
-
-	p := &serveProc{cmd: cmd, baseURL: "http://" + addr, graphFile: f.Name()}
-	if err := p.waitHealthy(30 * time.Second); err != nil {
-		p.cleanup()
-		return nil, err
-	}
-	return p, nil
+	return args
 }
 
 func (p *serveProc) waitHealthy(timeout time.Duration) error {
@@ -286,4 +385,130 @@ func freePort() (int, error) {
 	}
 	defer l.Close()
 	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+// routerFleet is a spawned msrp-serve fleet fronted by an in-process
+// replica-sharded router — the target of a plan with a router section.
+// Running the router in-process (instead of spawning msrp-route) keeps
+// the chaos hook a direct method call on the fleet manager.
+type routerFleet struct {
+	mgr       *router.Manager
+	rt        *router.Router
+	srv       *http.Server
+	baseURL   string
+	graphFile string
+	stopped   bool
+}
+
+// spawnFleet regenerates the plan's graph, boots plan.Router.Replicas
+// msrp-serve processes with the plan's server knobs, and serves a
+// router over them on a loopback port. Returns once every replica and
+// the router answer /healthz.
+func spawnFleet(plan *load.Plan, bin string, opt load.Options) (*routerFleet, error) {
+	graphFile, err := writeGraphFile(plan)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*routerFleet, error) {
+		os.Remove(graphFile)
+		return nil, err
+	}
+
+	mgr, err := router.NewManager(router.ManagerConfig{
+		ServeBin:  bin,
+		GraphPath: graphFile,
+		Replicas:  plan.Router.Replicas,
+		ExtraArgs: serveArgs(plan),
+		Logf:      opt.Logf,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	spec := plan.Router
+	rt, err := router.New(router.Config{
+		Replicas:      mgr.URLs(),
+		ItemDeadline:  time.Duration(spec.ItemDeadline),
+		BatchDeadline: time.Duration(spec.BatchDeadline),
+		MaxAttempts:   spec.MaxAttempts,
+		ProbeInterval: time.Duration(spec.ProbeInterval),
+		FailAfter:     spec.FailAfter,
+		UpAfter:       spec.UpAfter,
+		Logf:          opt.Logf,
+	})
+	if err != nil {
+		mgr.StopAll()
+		return fail(err)
+	}
+	rt.Start()
+
+	port, err := freePort()
+	if err != nil {
+		rt.Close()
+		mgr.StopAll()
+		return fail(err)
+	}
+	addr := net.JoinHostPort("127.0.0.1", strconv.Itoa(port))
+	srv := &http.Server{Addr: addr, Handler: rt}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		rt.Close()
+		mgr.StopAll()
+		return fail(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+
+	f := &routerFleet{
+		mgr:       mgr,
+		rt:        rt,
+		srv:       srv,
+		baseURL:   "http://" + addr,
+		graphFile: graphFile,
+	}
+	if err := f.waitHealthy(30 * time.Second); err != nil {
+		f.cleanup()
+		return nil, err
+	}
+	if opt.Logf != nil {
+		opt.Logf("router fleet up: %d replicas behind %s", plan.Router.Replicas, f.baseURL)
+	}
+	return f, nil
+}
+
+func (f *routerFleet) waitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(f.baseURL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("router never became healthy on %s", f.baseURL)
+}
+
+// drain flips the router into lameduck (healthz 503, requests still
+// served) and terminates the fleet in the background — the router-mode
+// analogue of SIGTERMing a single spawned server.
+func (f *routerFleet) drain() error {
+	f.rt.SetDraining(true)
+	go f.mgr.TermAll()
+	return nil
+}
+
+func (f *routerFleet) cleanup() {
+	if f.stopped {
+		return
+	}
+	f.stopped = true
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = f.srv.Shutdown(ctx)
+	cancel()
+	f.rt.Close()
+	f.mgr.StopAll()
+	os.Remove(f.graphFile)
 }

@@ -1,0 +1,215 @@
+// Command msrp-route fronts a fleet of msrp-serve replicas with the
+// replica-sharded router (internal/router): source ids consistent-hash
+// across the fleet so each replica warms and caches only its slice of
+// the σ·n² oracle state, mixed-source batches scatter-gather into
+// per-replica sub-batches, and the client-facing surface — /v1/query,
+// /v1/warm, /v1/sources, /v1/stats (fleet-aggregated), /healthz — is
+// the same as a single msrp-serve, so existing clients (including
+// cmd/msrp-load) work unmodified.
+//
+// Two ways to get a fleet:
+//
+//	# Route over replicas you run yourself:
+//	msrp-route -replicas http://10.0.0.1:8080,http://10.0.0.2:8080
+//
+//	# Spawn a local fleet (and optionally a chaos control endpoint):
+//	msrp-route -spawn 3 -serve-bin ./msrp-serve -graph g.msrp \
+//	    -replica-args '-auto-sources 8 -max-cached 4' -chaos
+//
+// With -chaos, POST /v1/chaos {"op":"kill|term|stall|resume|restart",
+// "replica":N} injects faults into the spawned fleet — the harness the
+// E17 failover experiment drives.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"msrp/internal/router"
+
+	"context"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "msrp-route:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8090", "listen address")
+		replicas = flag.String("replicas", "", "comma-separated replica base URLs (alternative to -spawn)")
+
+		spawn       = flag.Int("spawn", 0, "spawn this many local msrp-serve replicas instead of -replicas")
+		serveBin    = flag.String("serve-bin", "msrp-serve", "msrp-serve binary for -spawn")
+		graphPath   = flag.String("graph", "", "graph file for spawned replicas (required with -spawn)")
+		replicaArgs = flag.String("replica-args", "", "extra args for each spawned replica, space-separated (e.g. '-auto-sources 8 -max-cached 4')")
+		chaos       = flag.Bool("chaos", false, "expose POST /v1/chaos fault injection over the spawned fleet")
+
+		itemDeadline  = flag.Duration("item-deadline", 5*time.Second, "per-item budget across all retries and failovers")
+		batchDeadline = flag.Duration("batch-deadline", 30*time.Second, "whole-batch budget")
+		maxAttempts   = flag.Int("max-attempts", 3, "HTTP attempts per item across replicas")
+		retryBase     = flag.Duration("retry-base", 25*time.Millisecond, "full-jitter backoff base")
+		probeInterval = flag.Duration("probe-interval", 250*time.Millisecond, "/healthz probe period per replica")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
+		failAfter     = flag.Int("fail-after", 2, "consecutive failures that demote a replica to down")
+		upAfter       = flag.Int("up-after", 2, "consecutive probe successes that promote it back")
+		vnodes        = flag.Int("vnodes", 64, "virtual nodes per replica on the hash ring")
+		inflight      = flag.Int("max-inflight", 0, "concurrent routed batches (0 = 16 x replicas, <0 = unlimited)")
+
+		shutdown = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+		lameduck = flag.Duration("drain-lameduck", 0, "keep serving (with /healthz at 503) this long before closing the listener")
+	)
+	flag.Parse()
+
+	var (
+		urls []string
+		mgr  *router.Manager
+	)
+	switch {
+	case *spawn > 0:
+		if *graphPath == "" {
+			return errors.New("-spawn needs -graph")
+		}
+		var extra []string
+		if strings.TrimSpace(*replicaArgs) != "" {
+			extra = strings.Fields(*replicaArgs)
+		}
+		var err error
+		mgr, err = router.NewManager(router.ManagerConfig{
+			ServeBin:  *serveBin,
+			GraphPath: *graphPath,
+			Replicas:  *spawn,
+			ExtraArgs: extra,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "msrp-route: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer mgr.StopAll()
+		urls = mgr.URLs()
+	case *replicas != "":
+		for _, part := range strings.Split(*replicas, ",") {
+			u := strings.TrimSuffix(strings.TrimSpace(part), "/")
+			if u == "" {
+				continue
+			}
+			urls = append(urls, u)
+		}
+		if len(urls) == 0 {
+			return errors.New("-replicas is empty")
+		}
+	default:
+		return errors.New("need -replicas or -spawn")
+	}
+	if *chaos && mgr == nil {
+		return errors.New("-chaos needs -spawn (there is no process to signal in -replicas mode)")
+	}
+
+	rt, err := router.New(router.Config{
+		Replicas:      urls,
+		VNodes:        *vnodes,
+		ItemDeadline:  *itemDeadline,
+		BatchDeadline: *batchDeadline,
+		MaxAttempts:   *maxAttempts,
+		RetryBase:     *retryBase,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		FailAfter:     *failAfter,
+		UpAfter:       *upAfter,
+		MaxInFlight:   *inflight,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "msrp-route: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", rt)
+	if *chaos {
+		mux.HandleFunc("POST /v1/chaos", chaosHandler(mgr))
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "msrp-route: routing %d replicas, listening on %s\n", len(urls), *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "msrp-route: %v, draining (%v lameduck, %v grace)…\n", s, *lameduck, *shutdown)
+		rt.SetDraining(true)
+		if *lameduck > 0 {
+			select {
+			case <-time.After(*lameduck):
+			case <-sig:
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdown)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		if mgr != nil {
+			mgr.TermAll()
+		}
+		return nil
+	}
+}
+
+// chaosHandler exposes the fleet manager's fault injection:
+// POST /v1/chaos {"op":"kill|term|stall|resume|restart","replica":N}.
+func chaosHandler(mgr *router.Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Op      string `json:"op"`
+			Replica int    `json:"replica"`
+		}
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad chaos body: "+err.Error())
+			return
+		}
+		if err := mgr.Apply(req.Op, req.Replica); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"ok": true, "op": req.Op, "replica": req.Replica})
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -98,6 +98,67 @@ type ServerSpec struct {
 	Grace Duration `json:"grace,omitempty"`
 }
 
+// RouterSpec asks cmd/msrp-load to put the replica-sharded routing tier
+// (internal/router) in front of the fleet: it spawns Replicas msrp-serve
+// processes and an in-process router, and the plan's waves run against
+// the router — same wire surface, so the harness is otherwise unchanged.
+type RouterSpec struct {
+	// Replicas is the fleet size (must be ≥ 2 — a one-replica "fleet"
+	// measures nothing the single-server path doesn't).
+	Replicas int `json:"replicas"`
+	// ItemDeadline is each query item's budget across all retries and
+	// failovers (0 = router default).
+	ItemDeadline Duration `json:"itemDeadline,omitempty"`
+	// BatchDeadline bounds the whole batch (0 = router default).
+	BatchDeadline Duration `json:"batchDeadline,omitempty"`
+	// MaxAttempts bounds HTTP attempts per item (0 = router default).
+	MaxAttempts int `json:"maxAttempts,omitempty"`
+	// ProbeInterval is the /healthz probe period (0 = router default).
+	ProbeInterval Duration `json:"probeInterval,omitempty"`
+	// FailAfter / UpAfter tune the health state machine (0 = defaults).
+	FailAfter int `json:"failAfter,omitempty"`
+	UpAfter   int `json:"upAfter,omitempty"`
+}
+
+// Chaos actions.
+const (
+	// ChaosKill crashes the replica (SIGKILL) and leaves it dead: the
+	// failover steady state.
+	ChaosKill = "kill"
+	// ChaosTerm terminates it gracefully (SIGTERM) and leaves it gone:
+	// drain-then-failover.
+	ChaosTerm = "term"
+	// ChaosStall freezes it (SIGSTOP) and resumes it (SIGCONT) after
+	// Recover: the wedged-but-probe-green failure only deadlines catch.
+	ChaosStall = "stall"
+	// ChaosRestart crashes it (SIGKILL) and respawns it on the same port
+	// after Recover: crash, failover, rejoin, hand-back — the full E17
+	// cycle.
+	ChaosRestart = "restart"
+)
+
+var knownChaosActions = map[string]bool{
+	ChaosKill: true, ChaosTerm: true, ChaosStall: true, ChaosRestart: true,
+}
+
+// ChaosSpec injects one replica fault mid-wave. Requires the plan to
+// run a router fleet (Plan.Router) under a harness that controls the
+// replica processes.
+type ChaosSpec struct {
+	// Action is one of kill|term|stall|restart.
+	Action string `json:"action"`
+	// Replica is the fleet index to hit.
+	Replica int `json:"replica"`
+	// At is the trigger point as a fraction of the wave duration
+	// (0 = 0.5).
+	At float64 `json:"at,omitempty"`
+	// Recover is the fault duration for the recoverable actions: a
+	// stalled replica is resumed, a restarted one respawned, this long
+	// after the trigger. Required for stall/restart, forbidden for
+	// kill/term (those stay down — that is the scenario).
+	Recover Duration `json:"recover,omitempty"`
+}
+
 // BatchMix is one entry of the batch-size mix: batches of Size queries
 // drawn with probability proportional to Weight; Paths asks for
 // concrete replacement paths on every query of the batch.
@@ -143,6 +204,8 @@ type Wave struct {
 	// to the spawned/attached server, or the in-process drain
 	// callback). Only the last wave may drain.
 	Drain bool `json:"drain,omitempty"`
+	// Chaos injects a replica fault mid-wave (router plans only).
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
 }
 
 // Obey reports whether this wave honors Retry-After (the default).
@@ -167,7 +230,10 @@ type Plan struct {
 	// BatchMix is the batch-size mix; empty means single-query batches.
 	BatchMix []BatchMix  `json:"batchMix,omitempty"`
 	Server   *ServerSpec `json:"server,omitempty"`
-	Waves    []Wave      `json:"waves"`
+	// Router runs the waves through a replica-sharded routing tier
+	// instead of a single server.
+	Router *RouterSpec `json:"router,omitempty"`
+	Waves  []Wave      `json:"waves"`
 }
 
 // knownFamilies mirrors cmd/msrp-gen.
@@ -215,6 +281,9 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("load: batchMix[%d] requests paths but the plan does not set trackPaths", i)
 		}
 	}
+	if p.Router != nil && p.Router.Replicas < 2 {
+		return fmt.Errorf("load: router.replicas must be at least 2, got %d (a one-replica fleet measures nothing the single-server path doesn't)", p.Router.Replicas)
+	}
 	if len(p.Waves) == 0 {
 		return fmt.Errorf("load: plan needs at least one wave")
 	}
@@ -249,6 +318,40 @@ func (p *Plan) Validate() error {
 		}
 		if w.Drain && i != len(p.Waves)-1 {
 			return fmt.Errorf("load: wave %q: only the last wave may drain (the server is gone afterwards)", w.Name)
+		}
+		if c := w.Chaos; c != nil {
+			if p.Router == nil {
+				return fmt.Errorf("load: wave %q: chaos needs a router fleet (set plan.router)", w.Name)
+			}
+			if !knownChaosActions[c.Action] {
+				return fmt.Errorf("load: wave %q: unknown chaos action %q (want kill|term|stall|restart)", w.Name, c.Action)
+			}
+			if c.Replica < 0 || c.Replica >= p.Router.Replicas {
+				return fmt.Errorf("load: wave %q: chaos replica %d out of range [0,%d)", w.Name, c.Replica, p.Router.Replicas)
+			}
+			if c.At < 0 || c.At >= 1 {
+				return fmt.Errorf("load: wave %q: chaos at = %g must be a fraction in [0,1)", w.Name, c.At)
+			}
+			at := c.At
+			if at == 0 {
+				at = 0.5
+			}
+			switch c.Action {
+			case ChaosStall, ChaosRestart:
+				if time.Duration(c.Recover) <= 0 {
+					return fmt.Errorf("load: wave %q: chaos action %q needs a positive recover (how long the fault lasts)", w.Name, c.Action)
+				}
+				// Recovery must land inside the wave, or the result can't
+				// observe it.
+				if trigger := time.Duration(at * float64(time.Duration(w.Duration))); trigger+time.Duration(c.Recover) >= time.Duration(w.Duration) {
+					return fmt.Errorf("load: wave %q: chaos recover %v does not fit between the trigger (+%v) and the wave end (%v)",
+						w.Name, time.Duration(c.Recover), trigger, time.Duration(w.Duration))
+				}
+			default:
+				if time.Duration(c.Recover) != 0 {
+					return fmt.Errorf("load: wave %q: chaos action %q leaves the replica down; recover is only meaningful for stall|restart", w.Name, c.Action)
+				}
+			}
 		}
 	}
 	return nil

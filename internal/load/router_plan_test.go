@@ -1,0 +1,165 @@
+package load
+
+// Tests for the router-fleet plan surface (RouterSpec/ChaosSpec
+// validation) and the full-jitter Retry-After backoff.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"msrp/internal/xrand"
+)
+
+const validRouterPlanJSON = `{
+  "name": "rt",
+  "graph": {"family": "chords", "n": 60, "chords": 6, "seed": 3},
+  "sources": 4,
+  "router": {"replicas": 3, "itemDeadline": "2s", "maxAttempts": 3},
+  "waves": [
+    {"name": "steady", "clients": 2, "duration": "100ms"},
+    {"name": "crash", "clients": 2, "duration": "3s",
+     "chaos": {"action": "restart", "replica": 1, "at": 0.33, "recover": "1s"}}
+  ]
+}`
+
+func TestParseRouterChaosPlan(t *testing.T) {
+	p, err := ParsePlan(strings.NewReader(validRouterPlanJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Router == nil || p.Router.Replicas != 3 {
+		t.Fatalf("router spec misparsed: %+v", p.Router)
+	}
+	if got := time.Duration(p.Router.ItemDeadline); got != 2*time.Second {
+		t.Fatalf("itemDeadline = %v, want 2s", got)
+	}
+	c := p.Waves[1].Chaos
+	if c == nil || c.Action != ChaosRestart || c.Replica != 1 || c.At != 0.33 {
+		t.Fatalf("chaos spec misparsed: %+v", c)
+	}
+	if got := time.Duration(c.Recover); got != time.Second {
+		t.Fatalf("recover = %v, want 1s", got)
+	}
+}
+
+func TestRouterChaosPlanRejects(t *testing.T) {
+	// Each case mutates the valid plan by a substring rewrite.
+	cases := []struct {
+		name string
+		from string
+		to   string
+		want string
+	}{
+		{
+			name: "chaos without a router fleet",
+			from: `"router": {"replicas": 3, "itemDeadline": "2s", "maxAttempts": 3},`,
+			to:   ``,
+			want: "chaos needs a router fleet",
+		},
+		{
+			name: "single-replica fleet",
+			from: `"replicas": 3`,
+			to:   `"replicas": 1`,
+			want: "router.replicas must be at least 2",
+		},
+		{
+			name: "unknown action",
+			from: `"action": "restart"`,
+			to:   `"action": "explode"`,
+			want: "unknown chaos action",
+		},
+		{
+			name: "replica out of range",
+			from: `"replica": 1`,
+			to:   `"replica": 3`,
+			want: "out of range",
+		},
+		{
+			name: "trigger fraction at or past the wave end",
+			from: `"at": 0.33`,
+			to:   `"at": 1.0`,
+			want: "fraction in [0,1)",
+		},
+		{
+			name: "restart without a recover window",
+			from: `"at": 0.33, "recover": "1s"`,
+			to:   `"at": 0.33`,
+			want: "needs a positive recover",
+		},
+		{
+			name: "recovery that cannot land inside the wave",
+			from: `"recover": "1s"`,
+			to:   `"recover": "2500ms"`,
+			want: "does not fit",
+		},
+		{
+			name: "kill keeps the replica down; recover is meaningless",
+			from: `"action": "restart", "replica": 1, "at": 0.33, "recover": "1s"`,
+			to:   `"action": "kill", "replica": 1, "at": 0.33, "recover": "1s"`,
+			want: "recover is only meaningful",
+		},
+		{
+			name: "unknown router field",
+			from: `"maxAttempts": 3`,
+			to:   `"maxAttempt": 3`,
+			want: "unknown field",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mutated := strings.Replace(validRouterPlanJSON, c.from, c.to, 1)
+			if mutated == validRouterPlanJSON {
+				t.Fatalf("mutation %q -> %q did not apply", c.from, c.to)
+			}
+			_, err := ParsePlan(strings.NewReader(mutated))
+			if err == nil {
+				t.Fatalf("plan validated; want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestFullJitterSpreadsTheStampede: a pool of closed-loop clients all
+// rejected with the same Retry-After must NOT retry in lockstep — the
+// jittered backoffs have to spread over [0, hint), not cluster at the
+// boundary.
+func TestFullJitterSpreadsTheStampede(t *testing.T) {
+	hint := 4 * time.Second
+	const clients = 64
+	backoffs := make([]time.Duration, clients)
+	for i := range backoffs {
+		// Each client draws from its own deterministic stream, exactly
+		// like the workers in a wave.
+		rng := xrand.New(xrand.Mix(99 ^ xrand.Mix(uint64(i)+1)))
+		backoffs[i] = fullJitter(rng, hint)
+	}
+	var sum time.Duration
+	buckets := make([]int, 4) // quarters of the hint window
+	for i, b := range backoffs {
+		if b < 0 || b >= hint {
+			t.Fatalf("client %d backoff %v outside [0, %v)", i, b, hint)
+		}
+		sum += b
+		buckets[int(4*float64(b)/float64(hint))]++
+	}
+	// The old behavior put all 64 clients in the same instant (the top
+	// boundary). Uniform draws must populate every quarter of the
+	// window; P(an empty quarter) < 64·(3/4)^64 ≈ 1e-6 — a failure here
+	// means the jitter is broken, not unlucky.
+	for q, n := range buckets {
+		if n == 0 {
+			t.Fatalf("no client landed in quarter %d of the backoff window: %v (lockstep not broken)", q, buckets)
+		}
+	}
+	mean := sum / clients
+	if mean < hint/4 || mean > 3*hint/4 {
+		t.Fatalf("mean backoff %v is far from hint/2 = %v for uniform jitter", mean, hint/2)
+	}
+	if fullJitter(xrand.New(1), 0) != 0 {
+		t.Fatal("zero hint must mean zero backoff")
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"msrp/internal/bench"
 	"msrp/internal/server"
+	"msrp/internal/xrand"
 )
 
 // Target is the endpoint a plan runs against.
@@ -35,6 +36,10 @@ type Target struct {
 	// signal — the in-process hook (server.Server.SetDraining) tests
 	// use.
 	DrainFn func() error
+	// ChaosFn applies a replica fault (kill|term|stall|resume|restart on
+	// fleet index i). Required when the plan has chaos waves; wired to
+	// router.Manager.Apply by cmd/msrp-load's router mode.
+	ChaosFn func(op string, replica int) error
 }
 
 func (t *Target) drain() error {
@@ -104,6 +109,37 @@ type DrainResult struct {
 	ServerErrorsAfterDrain int64 `json:"serverErrorsAfterDrain"`
 }
 
+// ChaosResult records a chaos wave's fault injection timeline.
+type ChaosResult struct {
+	Action  string `json:"action"`
+	Replica int    `json:"replica"`
+	// TriggeredAtMillis is the fault's offset into the wave.
+	TriggeredAtMillis float64 `json:"triggeredAtMillis"`
+	// Recovered reports that the recovery op (resume/restart) was
+	// applied; RecoveredAtMillis is its offset into the wave.
+	Recovered         bool    `json:"recovered,omitempty"`
+	RecoveredAtMillis float64 `json:"recoveredAtMillis,omitempty"`
+	// Error records a failed injection (the run continues; the caller
+	// decides what is fatal).
+	Error string `json:"error,omitempty"`
+}
+
+// RouterDelta is the change in the router's own /v1/stats counters
+// across one wave, plus the replicas-up gauge at wave end — the routing
+// tier's account of the failover story.
+type RouterDelta struct {
+	Batches       int64 `json:"batches"`
+	Items         int64 `json:"items"`
+	SubBatches    int64 `json:"subBatches"`
+	Retries       int64 `json:"retries"`
+	Failovers     int64 `json:"failovers"`
+	FailoverWarms int64 `json:"failoverWarms"`
+	RouteErrors   int64 `json:"routeErrors"`
+	Rejections    int64 `json:"rejections"`
+	Handbacks     int64 `json:"handbacks"`
+	ReplicasUp    int   `json:"replicasUp"`
+}
+
 // WaveResult is the recorded outcome of one wave.
 type WaveResult struct {
 	Name           string  `json:"name"`
@@ -149,8 +185,18 @@ type WaveResult struct {
 	// rejected traffic rises.
 	Latency bench.LatencyMillis `json:"latency"`
 
-	Drain *DrainResult `json:"drain,omitempty"`
-	Stats *StatsDelta  `json:"stats,omitempty"`
+	// RouteErrors counts individual items that came back with a
+	// routeError (the router failed them within their budget instead of
+	// 5xx-ing the batch); PartialBatches counts 2xx batches containing
+	// at least one. Only populated for router plans (the response body
+	// is not decoded otherwise).
+	RouteErrors    int64 `json:"routeErrors,omitempty"`
+	PartialBatches int64 `json:"partialBatches,omitempty"`
+
+	Drain  *DrainResult `json:"drain,omitempty"`
+	Chaos  *ChaosResult `json:"chaos,omitempty"`
+	Stats  *StatsDelta  `json:"stats,omitempty"`
+	Router *RouterDelta `json:"router,omitempty"`
 }
 
 // Result is a full run, the Data payload of a BENCH_*.json envelope.
@@ -257,6 +303,20 @@ func Run(ctx context.Context, plan *Plan, tgt *Target, opt Options) (*Result, er
 					Cancellations: after.Cancellations - before.Cancellations,
 					Evictions:     after.Evictions - before.Evictions,
 				}
+				if after.Router != nil && before.Router != nil {
+					wr.Router = &RouterDelta{
+						Batches:       after.Router.Batches - before.Router.Batches,
+						Items:         after.Router.Items - before.Router.Items,
+						SubBatches:    after.Router.SubBatches - before.Router.SubBatches,
+						Retries:       after.Router.Retries - before.Router.Retries,
+						Failovers:     after.Router.Failovers - before.Router.Failovers,
+						FailoverWarms: after.Router.FailoverWarms - before.Router.FailoverWarms,
+						RouteErrors:   after.Router.RouteErrors - before.Router.RouteErrors,
+						Rejections:    after.Router.Rejections - before.Router.Rejections,
+						Handbacks:     after.Router.Handbacks - before.Router.Handbacks,
+						ReplicasUp:    after.Router.ReplicasUp,
+					}
+				}
 			}
 			res.Server = &StatsGauges{
 				CachedSources:                 after.CachedSources,
@@ -337,7 +397,32 @@ func retryAfterOf(resp *http.Response, fallback time.Duration) time.Duration {
 	return fallback
 }
 
-func (r *runner) scrapeStats(ctx context.Context) (*server.StatsResponse, bool) {
+// scrapedStats is /v1/stats as the harness reads it: a single server's
+// StatsResponse, plus — when the target is a router — the "router"
+// section (absent on a plain msrp-serve, so the same scrape works for
+// both).
+type scrapedStats struct {
+	server.StatsResponse
+	Router *routerScrape `json:"router,omitempty"`
+}
+
+// routerScrape mirrors internal/router's RouterSection counters (by
+// JSON field name — the load harness deliberately doesn't import the
+// router package, the wire format is the contract).
+type routerScrape struct {
+	Batches       int64 `json:"batches"`
+	Items         int64 `json:"items"`
+	SubBatches    int64 `json:"subBatches"`
+	Retries       int64 `json:"retries"`
+	Failovers     int64 `json:"failovers"`
+	FailoverWarms int64 `json:"failoverWarms"`
+	RouteErrors   int64 `json:"routeErrors"`
+	Rejections    int64 `json:"rejections"`
+	Handbacks     int64 `json:"handbacks"`
+	ReplicasUp    int   `json:"replicasUp"`
+}
+
+func (r *runner) scrapeStats(ctx context.Context) (*scrapedStats, bool) {
 	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(sctx, http.MethodGet, r.tgt.BaseURL+"/v1/stats", nil)
@@ -353,7 +438,7 @@ func (r *runner) scrapeStats(ctx context.Context) (*server.StatsResponse, bool) 
 		io.Copy(io.Discard, resp.Body)
 		return nil, false
 	}
-	var st server.StatsResponse
+	var st scrapedStats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return nil, false
 	}
@@ -376,6 +461,9 @@ type worker struct {
 	retryWait                      time.Duration
 	retryAfterSecs                 int64
 	lastRetryAfterSecs             int64
+
+	routeErrors    int64
+	partialBatches int64
 
 	completedAfterDrain    int64
 	serverErrorsAfterDrain int64
@@ -402,6 +490,58 @@ func (r *runner) runWave(ctx context.Context, wave *Wave) (*WaveResult, error) {
 		Arrival:        arrivalOf(wave),
 		Rate:           wave.Rate,
 		DurationMillis: millisOf(dur),
+	}
+
+	// Mid-wave chaos: inject the fault at its trigger point, and for the
+	// recoverable actions apply the recovery op after its window — all
+	// inside the wave, so the wave's metrics span fault and recovery.
+	var chaosTimer *time.Timer
+	var chaosDone chan struct{}
+	if wave.Chaos != nil {
+		c := wave.Chaos
+		wr.Chaos = &ChaosResult{Action: c.Action, Replica: c.Replica}
+		chaosDone = make(chan struct{})
+		waveStart := time.Now()
+		at := c.At
+		if at == 0 {
+			at = 0.5
+		}
+		chaosTimer = time.AfterFunc(time.Duration(at*float64(dur)), func() {
+			defer close(chaosDone)
+			if r.tgt.ChaosFn == nil {
+				wr.Chaos.Error = "no chaos hook on the target"
+				r.opt.logf("wave %q: chaos %s replica %d skipped: no hook", wave.Name, c.Action, c.Replica)
+				return
+			}
+			// stall/restart inject one op now and its recovery later;
+			// kill/term are one-shot.
+			injectOp := c.Action
+			if c.Action == ChaosRestart {
+				injectOp = ChaosKill
+			}
+			wr.Chaos.TriggeredAtMillis = millisOf(time.Since(waveStart))
+			r.opt.logf("wave %q: chaos %s replica %d at +%.0fms", wave.Name, injectOp, c.Replica, wr.Chaos.TriggeredAtMillis)
+			if err := r.tgt.ChaosFn(injectOp, c.Replica); err != nil {
+				wr.Chaos.Error = err.Error()
+				r.opt.logf("wave %q: chaos injection failed: %v", wave.Name, err)
+				return
+			}
+			if rec := time.Duration(c.Recover); rec > 0 {
+				time.Sleep(rec)
+				recoverOp := ChaosRestart
+				if c.Action == ChaosStall {
+					recoverOp = "resume"
+				}
+				if err := r.tgt.ChaosFn(recoverOp, c.Replica); err != nil {
+					wr.Chaos.Error = err.Error()
+					r.opt.logf("wave %q: chaos recovery failed: %v", wave.Name, err)
+					return
+				}
+				wr.Chaos.Recovered = true
+				wr.Chaos.RecoveredAtMillis = millisOf(time.Since(waveStart))
+				r.opt.logf("wave %q: chaos %s replica %d at +%.0fms", wave.Name, recoverOp, c.Replica, wr.Chaos.RecoveredAtMillis)
+			}
+		})
 	}
 
 	// Mid-wave drain: trigger at the midpoint, then watch /healthz for
@@ -500,6 +640,11 @@ func (r *runner) runWave(ctx context.Context, wave *Wave) (*WaveResult, error) {
 			<-drainDone // fired: wait for the poller before reading wr.Drain
 		}
 	}
+	if chaosTimer != nil {
+		if !chaosTimer.Stop() {
+			<-chaosDone // fired: wait for the recovery before reading wr.Chaos
+		}
+	}
 
 	// Merge worker-private metrics.
 	for _, w := range workers {
@@ -514,6 +659,8 @@ func (r *runner) runWave(ctx context.Context, wave *Wave) (*WaveResult, error) {
 		wr.Retries += w.retries
 		wr.RetryWaitMillis += millisOf(w.retryWait)
 		wr.RetryAfterMeanSecs += float64(w.retryAfterSecs)
+		wr.RouteErrors += w.routeErrors
+		wr.PartialBatches += w.partialBatches
 		if wr.Drain != nil {
 			wr.Drain.CompletedAfterDrain += w.completedAfterDrain
 			wr.Drain.ServerErrorsAfterDrain += w.serverErrorsAfterDrain
@@ -551,9 +698,10 @@ func (r *runner) closedLoop(ctx context.Context, w *worker, wave *Wave, clock *w
 			if outcome != outcomeRejected || !obey {
 				break
 			}
-			// Honor Retry-After, then retry the same batch; give up on
-			// the retry if the backoff crosses the wave deadline.
-			backoff := time.Duration(w.lastRetryAfterSecs) * time.Second
+			// Honor Retry-After with full jitter, then retry the same
+			// batch; give up on the retry if the backoff crosses the wave
+			// deadline.
+			backoff := fullJitter(w.stream.rng, time.Duration(w.lastRetryAfterSecs)*time.Second)
 			remain := time.Until(clock.deadline)
 			if backoff > remain {
 				w.retryWait += remain
@@ -565,6 +713,20 @@ func (r *runner) closedLoop(ctx context.Context, w *worker, wave *Wave, clock *w
 			w.retries++
 		}
 	}
+}
+
+// fullJitter spreads a Retry-After hint over U(0, hint). A closed-loop
+// pool rejected en masse advertises every client the same hint; clients
+// that sleep exactly that long all come back in the same instant — a
+// synchronized stampede that gets re-rejected wholesale and repeats.
+// The hint is the server's estimate of how long it needs, not a
+// rendezvous time: drawing uniformly under it decorrelates the pool
+// while keeping the mean wait at half the hint.
+func fullJitter(rng *xrand.RNG, hint time.Duration) time.Duration {
+	if hint <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Float64() * float64(hint))
 }
 
 type outcome int
@@ -603,6 +765,13 @@ func (r *runner) doBatch(ctx context.Context, w *worker, req server.QueryRequest
 		time.Sleep(20 * time.Millisecond)
 		return outcomeTransportError
 	}
+	// Router plans read the answers back out: per-item routeErrors are
+	// the router's failure currency (a single server never sets them, so
+	// the decode is skipped and the body discarded unread).
+	var respBody []byte
+	if r.plan.Router != nil && resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		respBody, _ = io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	lat := time.Since(start)
@@ -615,6 +784,22 @@ func (r *runner) doBatch(ctx context.Context, w *worker, req server.QueryRequest
 		w.sketch.Add(lat)
 		if clock.afterDrain(end) {
 			w.completedAfterDrain++
+		}
+		if respBody != nil {
+			var qr server.QueryResponse
+			if json.Unmarshal(respBody, &qr) == nil {
+				failed := int64(0)
+				for _, a := range qr.Answers {
+					if a.RouteError != "" {
+						failed++
+					}
+				}
+				if failed > 0 {
+					w.routeErrors += failed
+					w.partialBatches++
+					w.completedQueries -= failed
+				}
+			}
 		}
 		return outcomeCompleted
 	case resp.StatusCode == http.StatusTooManyRequests:

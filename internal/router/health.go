@@ -1,0 +1,203 @@
+package router
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a replica's routability as seen by the health checker.
+type State int32
+
+const (
+	// StateUp: routable. Replicas start up optimistically so traffic
+	// flows before the first probe lands; a dead replica is demoted by
+	// the probe loop or by the first data-path failure, whichever comes
+	// first.
+	StateUp State = iota
+	// StateDown: not routable; its hash range fails over. Rejoins after
+	// Config.UpAfter consecutive probe successes.
+	StateDown
+	// StateDraining: the replica answered /healthz 503 "draining" — it
+	// is finishing in-flight work before exiting. Not routable for new
+	// sub-batches, but not a failure either: no failure counters move.
+	StateDraining
+)
+
+func (s State) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateDown:
+		return "down"
+	case StateDraining:
+		return "draining"
+	default:
+		return "unknown"
+	}
+}
+
+// replica is one fleet member's health record plus routing counters.
+type replica struct {
+	name  string // base URL
+	state atomic.Int32
+
+	mu    sync.Mutex
+	fails int // consecutive probe/data-path failures
+	oks   int // consecutive probe successes
+
+	// Counters for the aggregated stats view.
+	routedItems     atomic.Int64 // items answered by this replica
+	failedOverItems atomic.Int64 // …of which it was not the owner
+	probeFailures   atomic.Int64
+}
+
+func (r *replica) State() State { return State(r.state.Load()) }
+
+// health drives the per-replica state machines: an active /healthz
+// probe loop per replica, plus passive failure reports from the data
+// path (a scatter that hits a dead TCP socket should not wait for the
+// next probe tick to stop routing there).
+type health struct {
+	replicas           []*replica
+	client             *http.Client
+	interval           time.Duration
+	timeout            time.Duration
+	failAfter, upAfter int
+
+	logf func(format string, args ...any)
+
+	// onRejoin fires on a down→up transition (hand-back): the router
+	// re-warms the rejoined replica's hash slice in the background.
+	onRejoin func(replica int)
+
+	handbacks atomic.Int64
+
+	stop    chan struct{}
+	stopped sync.WaitGroup
+}
+
+// markSuccess advances the state machine on a healthy probe.
+func (h *health) markSuccess(i int) {
+	r := h.replicas[i]
+	r.mu.Lock()
+	r.fails = 0
+	r.oks++
+	st := r.State()
+	promote := st != StateUp && r.oks >= h.upAfter
+	if promote {
+		r.state.Store(int32(StateUp))
+	}
+	r.mu.Unlock()
+	if promote {
+		if h.logf != nil {
+			h.logf("replica %d (%s): %s -> up", i, r.name, st)
+		}
+		if st == StateDown {
+			// Rejoin after an outage is the hand-back moment: the ring
+			// never moved the slice, so routing snaps back by itself;
+			// the callback re-warms the slice so the first queries back
+			// home don't pay a rebuild.
+			h.handbacks.Add(1)
+			if h.onRejoin != nil {
+				h.onRejoin(i)
+			}
+		}
+	}
+}
+
+// markFailure advances the state machine on a probe or data-path
+// failure. Draining replicas are left in draining: a drain is not an
+// outage, and flapping it to down would trigger a spurious hand-back
+// warm when it exits.
+func (h *health) markFailure(i int, probe bool) {
+	r := h.replicas[i]
+	if probe {
+		r.probeFailures.Add(1)
+	}
+	r.mu.Lock()
+	r.oks = 0
+	r.fails++
+	st := r.State()
+	demote := st == StateUp && r.fails >= h.failAfter
+	if demote {
+		r.state.Store(int32(StateDown))
+	}
+	r.mu.Unlock()
+	if demote && h.logf != nil {
+		h.logf("replica %d (%s): up -> down after %d consecutive failures", i, r.name, h.failAfter)
+	}
+}
+
+// markDraining moves an up replica to draining (no counters reset: a
+// draining replica that starts failing outright still becomes down).
+func (h *health) markDraining(i int) {
+	r := h.replicas[i]
+	if State(r.state.Swap(int32(StateDraining))) != StateDraining && h.logf != nil {
+		h.logf("replica %d (%s): -> draining", i, r.name)
+	}
+}
+
+// probe runs one health check against replica i and feeds the outcome
+// into the state machine.
+func (h *health) probe(i int) {
+	ctx, cancel := context.WithTimeout(context.Background(), h.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.replicas[i].name+"/healthz", nil)
+	if err != nil {
+		h.markFailure(i, true)
+		return
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		h.markFailure(i, true)
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		h.markSuccess(i)
+	case resp.StatusCode == http.StatusServiceUnavailable && strings.Contains(string(body), "draining"):
+		h.markDraining(i)
+	default:
+		h.markFailure(i, true)
+	}
+}
+
+// start launches one probe loop per replica, beginning with a
+// synchronous round so the router's first routing decisions see real
+// states rather than the optimistic default.
+func (h *health) start() {
+	var first sync.WaitGroup
+	for i := range h.replicas {
+		first.Add(1)
+		go func(i int) { h.probe(i); first.Done() }(i)
+	}
+	first.Wait()
+	for i := range h.replicas {
+		h.stopped.Add(1)
+		go func(i int) {
+			defer h.stopped.Done()
+			t := time.NewTicker(h.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-h.stop:
+					return
+				case <-t.C:
+					h.probe(i)
+				}
+			}
+		}(i)
+	}
+}
+
+func (h *health) close() {
+	close(h.stop)
+	h.stopped.Wait()
+}

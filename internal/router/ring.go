@@ -1,0 +1,141 @@
+// Package router is the replica-sharded serving tier over a fleet of
+// msrp-serve replicas: a thin coordinator that consistent-hashes source
+// ids across N replicas (so each replica warms and caches only its
+// slice of the σ·n² oracle state), splits mixed-source /v1/query
+// batches into per-replica sub-batches, scatter-gathers them
+// concurrently, and reassembles the answers in request order. It
+// exposes the same /v1/query, /v1/warm, /v1/stats, /healthz surface as
+// a single msrp-serve, so clients (including cmd/msrp-load) work
+// unmodified against a fleet.
+//
+// Robustness contract:
+//
+//   - Per-item deadlines: every item gets Config.ItemDeadline of budget
+//     from batch arrival. A replica that blows it fails only that
+//     item's sub-batch — the item reports a routeError field while its
+//     siblings from healthy replicas answer normally. The router never
+//     turns a replica failure into a whole-batch 5xx.
+//   - Bounded retries with full-jitter exponential backoff. 429s from a
+//     replica's admission control are retried on the same replica (the
+//     capacity will free; rerouting would just thrash another cache)
+//     after obeying its Retry-After hint; transport errors, 5xx, and
+//     replica deadline verdicts (504) re-route to the next candidate on
+//     the ring.
+//   - Active health checking: a /healthz probe loop drives each replica
+//     through an up/down/draining state machine, with data-path
+//     failures reported into the same machine so a crash is detected at
+//     the next query, not the next probe.
+//   - Failover and hand-back: a down replica's hash range fails over to
+//     the next live candidates on the ring, which lazily warm the
+//     orphaned sources through the oracle's existing single-flight
+//     build path. When the replica rejoins, its slice routes back to it
+//     (the ring never changed) and the router re-warms the slice on the
+//     rejoined replica in the background.
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"msrp/internal/xrand"
+)
+
+// ringPoint is one virtual node: a position on the 2^64 ring owned by a
+// replica.
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// Ring consistent-hashes source ids over a fixed replica set. The
+// replica set is construction-time fixed — membership changes are a
+// health concern, not a ring concern — which is what makes hand-back
+// automatic: a source's owner never moves, so when the owner comes back
+// up, routing returns to it without any state migration.
+type Ring struct {
+	points   []ringPoint
+	replicas int
+}
+
+// NewRing places vnodes virtual nodes per replica (0 = 64) on the ring.
+// Replicas are identified by index; the layout depends only on
+// (replicas, vnodes), so every router over the same fleet agrees.
+func NewRing(replicas, vnodes int) (*Ring, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("router: ring needs at least one replica, got %d", replicas)
+	}
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{replicas: replicas}
+	r.points = make([]ringPoint, 0, replicas*vnodes)
+	for i := 0; i < replicas; i++ {
+		// Seed each replica's vnode sequence from a hash of its index so
+		// the point sets of different replicas are decorrelated.
+		h := fnv.New64a()
+		fmt.Fprintf(h, "replica-%d", i)
+		seed := h.Sum64()
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    xrand.Mix(seed ^ xrand.Mix(uint64(v)+1)),
+				replica: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break on replica index so the order is total and
+		// deterministic even in the (astronomically unlikely) collision.
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r, nil
+}
+
+// Replicas returns the fleet size the ring was built for.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// hashSource maps a source id onto the ring.
+func hashSource(source int) uint64 {
+	return xrand.Mix(uint64(int64(source)) ^ 0x5851f42d4c957f2d)
+}
+
+// Owner returns the replica that owns source — the first point at or
+// after the source's hash, wrapping.
+func (r *Ring) Owner(source int) int {
+	h := hashSource(source)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].replica
+}
+
+// Candidates returns every replica in ring order starting at the
+// source's owner: Candidates(s)[0] is Owner(s), and the rest is the
+// deterministic failover order — the same walk every router instance
+// would take, so failed-over sources concentrate on the same fallback
+// replica (one orphaned rebuild, not one per router).
+func (r *Ring) Candidates(source int) []int {
+	h := hashSource(source)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, r.replicas)
+	seen := make([]bool, r.replicas)
+	for k := 0; k < len(r.points) && len(out) < r.replicas; k++ {
+		p := r.points[(start+k)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	// Vnode placement makes missing a replica possible only if it has
+	// zero points, which NewRing rules out; keep the invariant anyway.
+	for i := 0; i < r.replicas; i++ {
+		if !seen[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package router
+
+import (
+	"testing"
+)
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	a, err := NewRing(5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2000; s++ {
+		if a.Owner(s) != b.Owner(s) {
+			t.Fatalf("rings over the same fleet disagree on source %d: %d vs %d", s, a.Owner(s), b.Owner(s))
+		}
+		cands := a.Candidates(s)
+		if len(cands) != 5 {
+			t.Fatalf("Candidates(%d) = %v, want all 5 replicas", s, cands)
+		}
+		if cands[0] != a.Owner(s) {
+			t.Fatalf("Candidates(%d)[0] = %d, Owner = %d", s, cands[0], a.Owner(s))
+		}
+		seen := make(map[int]bool)
+		for _, c := range cands {
+			if c < 0 || c >= 5 || seen[c] {
+				t.Fatalf("Candidates(%d) = %v is not a permutation of replicas", s, cands)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	const n = 4000
+	for s := 0; s < n; s++ {
+		counts[r.Owner(s)]++
+	}
+	// With 64 vnodes per replica, no replica should own less than half
+	// or more than double its fair share.
+	fair := n / 4
+	for i, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("replica %d owns %d of %d sources (fair share %d): %v", i, c, n, fair, counts)
+		}
+	}
+}
+
+func TestRingRejectsEmptyFleet(t *testing.T) {
+	if _, err := NewRing(0, 64); err == nil {
+		t.Fatal("NewRing(0) should fail")
+	}
+}
+
+// TestHealthStateMachine drives the up/down/draining transitions
+// directly, without HTTP.
+func TestHealthStateMachine(t *testing.T) {
+	rejoined := make(chan int, 1)
+	h := &health{
+		replicas:  []*replica{{name: "r0"}},
+		failAfter: 2,
+		upAfter:   2,
+		onRejoin:  func(i int) { rejoined <- i },
+	}
+	r := h.replicas[0]
+
+	if r.State() != StateUp {
+		t.Fatalf("initial state = %v, want up (optimistic)", r.State())
+	}
+	h.markFailure(0, true)
+	if r.State() != StateUp {
+		t.Fatalf("state after 1 failure = %v, want up (failAfter=2)", r.State())
+	}
+	h.markFailure(0, false)
+	if r.State() != StateDown {
+		t.Fatalf("state after 2 consecutive failures = %v, want down", r.State())
+	}
+	if got := r.probeFailures.Load(); got != 1 {
+		t.Fatalf("probeFailures = %d, want 1 (only probe failures count)", got)
+	}
+
+	// One success does not rejoin; two do, and that fires hand-back.
+	h.markSuccess(0)
+	if r.State() != StateDown {
+		t.Fatalf("state after 1 success = %v, want down (upAfter=2)", r.State())
+	}
+	h.markSuccess(0)
+	if r.State() != StateUp {
+		t.Fatalf("state after 2 successes = %v, want up", r.State())
+	}
+	select {
+	case i := <-rejoined:
+		if i != 0 {
+			t.Fatalf("rejoin fired for replica %d, want 0", i)
+		}
+	default:
+		t.Fatal("down -> up transition did not fire onRejoin")
+	}
+	if h.handbacks.Load() != 1 {
+		t.Fatalf("handbacks = %d, want 1", h.handbacks.Load())
+	}
+
+	// A success streak broken by a failure starts over.
+	h.markFailure(0, false)
+	h.markFailure(0, false)
+	h.markSuccess(0)
+	h.markFailure(0, false)
+	h.markSuccess(0)
+	if r.State() != StateDown {
+		t.Fatalf("interleaved successes should not rejoin; state = %v", r.State())
+	}
+
+	// Draining is sticky against failures (a drain is not an outage) and
+	// promotes back to up on sustained successes.
+	h.markSuccess(0)
+	h.markSuccess(0) // back up, fires another hand-back
+	<-rejoined
+	h.markDraining(0)
+	if r.State() != StateDraining {
+		t.Fatalf("state = %v, want draining", r.State())
+	}
+	h.markFailure(0, false)
+	h.markFailure(0, false)
+	if r.State() != StateDraining {
+		t.Fatalf("failures while draining flipped state to %v", r.State())
+	}
+	h.markSuccess(0)
+	h.markSuccess(0)
+	if r.State() != StateUp {
+		t.Fatalf("draining replica answering healthy again = %v, want up", r.State())
+	}
+	// draining -> up is not a hand-back (it was never down).
+	select {
+	case <-rejoined:
+		t.Fatal("draining -> up must not fire onRejoin")
+	default:
+	}
+}

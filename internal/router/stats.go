@@ -1,0 +1,159 @@
+package router
+
+import (
+	"net/http"
+	"sync"
+
+	"msrp/internal/server"
+)
+
+// ReplicaStats is one fleet member's row in the aggregated stats view.
+type ReplicaStats struct {
+	Name            string                `json:"name"`
+	State           string                `json:"state"`
+	RoutedItems     int64                 `json:"routedItems"`
+	FailedOverItems int64                 `json:"failedOverItems"`
+	ProbeFailures   int64                 `json:"probeFailures"`
+	CachedSources   int                   `json:"cachedSources"`
+	Stats           *server.StatsResponse `json:"stats,omitempty"`
+}
+
+// RouterSection is the router's own counters, nested under "router" in
+// the stats response so a scraper built for a single replica's
+// StatsResponse keeps working (it ignores the extra key) while a
+// router-aware one sees the fleet.
+type RouterSection struct {
+	Batches       int64          `json:"batches"`
+	Items         int64          `json:"items"`
+	SubBatches    int64          `json:"subBatches"`
+	Retries       int64          `json:"retries"`
+	Failovers     int64          `json:"failovers"`
+	FailoverWarms int64          `json:"failoverWarms"`
+	RouteErrors   int64          `json:"routeErrors"`
+	Rejections    int64          `json:"rejections"`
+	Handbacks     int64          `json:"handbacks"`
+	ReplicasUp    int            `json:"replicasUp"`
+	Replicas      []ReplicaStats `json:"replicas"`
+}
+
+// StatsResponse is the router's /v1/stats body: a fleet-aggregated
+// server.StatsResponse at the top level plus the "router" section.
+type StatsResponse struct {
+	server.StatsResponse
+	Router RouterSection `json:"router"`
+}
+
+// aggregate folds per-replica stats into one fleet view. Counters sum;
+// capacity facts (sources, maxCachedSources) and high-water marks (the
+// warm-stage latencies, peak bytes) take the max — summing a latency
+// across replicas that warmed in parallel would report a wall time
+// nobody experienced; rates are recomputed from the summed counters.
+func aggregate(parts []*server.StatsResponse) server.StatsResponse {
+	var agg server.StatsResponse
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		agg.Hits += p.Hits
+		agg.Misses += p.Misses
+		agg.Builds += p.Builds
+		agg.BuildTimeMillis += p.BuildTimeMillis
+		agg.Evictions += p.Evictions
+		agg.Batches += p.Batches
+		agg.BatchQueries += p.BatchQueries
+		agg.Warms += p.Warms
+		agg.Rejections += p.Rejections
+		agg.Cancellations += p.Cancellations
+		agg.CachedSources += p.CachedSources
+		agg.ProvenanceBytes += p.ProvenanceBytes
+		if p.Sources > agg.Sources {
+			agg.Sources = p.Sources
+		}
+		if p.MaxCachedSources > agg.MaxCachedSources {
+			agg.MaxCachedSources = p.MaxCachedSources
+		}
+		if p.WarmStageBuildMillis > agg.WarmStageBuildMillis {
+			agg.WarmStageBuildMillis = p.WarmStageBuildMillis
+		}
+		if p.WarmStageSeedEnumerateMillis > agg.WarmStageSeedEnumerateMillis {
+			agg.WarmStageSeedEnumerateMillis = p.WarmStageSeedEnumerateMillis
+		}
+		if p.WarmStageSeedMergeMillis > agg.WarmStageSeedMergeMillis {
+			agg.WarmStageSeedMergeMillis = p.WarmStageSeedMergeMillis
+		}
+		if p.WarmStageCenterLandmarkMillis > agg.WarmStageCenterLandmarkMillis {
+			agg.WarmStageCenterLandmarkMillis = p.WarmStageCenterLandmarkMillis
+		}
+		if p.WarmStageAssemblyMillis > agg.WarmStageAssemblyMillis {
+			agg.WarmStageAssemblyMillis = p.WarmStageAssemblyMillis
+		}
+		if p.WarmPeakSeedPathBytes > agg.WarmPeakSeedPathBytes {
+			agg.WarmPeakSeedPathBytes = p.WarmPeakSeedPathBytes
+		}
+	}
+	if lookups := agg.Hits + agg.Misses; lookups > 0 {
+		agg.HitRate = float64(agg.Hits) / float64(lookups)
+	}
+	if agg.Builds > 0 {
+		agg.AvgBuildMillis = float64(agg.BuildTimeMillis) / float64(agg.Builds)
+	}
+	if agg.Batches > 0 {
+		agg.AvgBatchSize = float64(agg.BatchQueries) / float64(agg.Batches)
+	}
+	return agg
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Scrape live replicas concurrently; a down replica contributes its
+	// routing counters but no oracle stats (it is not there to ask).
+	parts := make([]*server.StatsResponse, len(rt.reps))
+	cachedCounts := make([]int, len(rt.reps))
+	var wg sync.WaitGroup
+	for i, rep := range rt.reps {
+		if rep.State() == StateDown {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			var st server.StatsResponse
+			if err := rt.getJSON(r.Context(), base+"/v1/stats", &st); err == nil {
+				parts[i] = &st
+				cachedCounts[i] = st.CachedSources
+			}
+		}(i, rep.name)
+	}
+	wg.Wait()
+
+	sec := RouterSection{
+		Batches:       rt.batches.Load(),
+		Items:         rt.items.Load(),
+		SubBatches:    rt.subBatches.Load(),
+		Retries:       rt.retries.Load(),
+		Failovers:     rt.failovers.Load(),
+		FailoverWarms: rt.failoverWarms.Load(),
+		RouteErrors:   rt.routeErrors.Load(),
+		Rejections:    rt.rejections.Load(),
+		Handbacks:     rt.health.handbacks.Load(),
+		Replicas:      make([]ReplicaStats, len(rt.reps)),
+	}
+	for i, rep := range rt.reps {
+		state := rep.State()
+		if state == StateUp {
+			sec.ReplicasUp++
+		}
+		sec.Replicas[i] = ReplicaStats{
+			Name:            rep.name,
+			State:           state.String(),
+			RoutedItems:     rep.routedItems.Load(),
+			FailedOverItems: rep.failedOverItems.Load(),
+			ProbeFailures:   rep.probeFailures.Load(),
+			CachedSources:   cachedCounts[i],
+			Stats:           parts[i],
+		}
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		StatsResponse: aggregate(parts),
+		Router:        sec,
+	})
+}

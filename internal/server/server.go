@@ -8,7 +8,10 @@
 //
 //	POST /v1/query   {"queries":[{"source":s,"target":t,"u":u,"v":v},…]}
 //	                 → {"answers":[{"length":l,"noPath":…,"error":…},…]}
-//	POST /v1/warm    run the Theorem 1 batch pipeline over every source
+//	POST /v1/warm    run the Theorem 1 batch pipeline over every source,
+//	                 or — with a {"sources":[…]} body — materialize just
+//	                 that slice via the per-source build path
+//	GET  /v1/sources the source set and which sources are cached now
 //	GET  /v1/stats   Oracle.Stats() + derived rates as JSON
 //	GET  /healthz    liveness probe
 //
@@ -22,9 +25,12 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -142,6 +148,7 @@ func New(o *msrp.Oracle, cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/warm", s.handleWarm)
+	s.mux.HandleFunc("GET /v1/sources", s.handleSources)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -238,9 +245,16 @@ type QueryItem struct {
 	Paths  bool `json:"paths,omitempty"`
 }
 
-// QueryRequest is the /v1/query request body.
+// QueryRequest is the /v1/query request body. DeadlineMillis, when
+// positive, is a server-side compute budget for the whole batch: the
+// handler enforces it with a context deadline, so a batch that blows
+// its budget is abandoned by the *replica* (504), not just by a client
+// that has already hung up. A routing tier sets it to its remaining
+// per-item budget so a stalled or overloaded replica stops burning
+// capacity on answers nobody is still waiting for.
 type QueryRequest struct {
-	Queries []QueryItem `json:"queries"`
+	Queries        []QueryItem `json:"queries"`
+	DeadlineMillis int64       `json:"deadlineMillis,omitempty"`
 }
 
 // AnswerItem is one answer on the wire. NoPath marks the avoided edge
@@ -259,6 +273,11 @@ type AnswerItem struct {
 	Path      []int32 `json:"path,omitempty"`
 	PathError string  `json:"pathError,omitempty"`
 	Error     string  `json:"error,omitempty"`
+	// RouteError is set only by the routing tier (internal/router): the
+	// item could not be answered by any replica within its budget (all
+	// other fields are then meaningless). A replica never sets it. It is
+	// declared here so routed and direct responses share one wire shape.
+	RouteError string `json:"routeError,omitempty"`
 }
 
 // QueryResponse is the /v1/query response body. Answers align with the
@@ -302,6 +321,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: `empty batch: "queries" must contain at least one item`})
 		return
 	}
+	if req.DeadlineMillis < 0 {
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: "deadlineMillis must be non-negative"})
+		return
+	}
 
 	release, ok := acquire(s.queries)
 	if !ok {
@@ -314,10 +337,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for i, q := range req.Queries {
 		queries[i] = msrp.Query{Source: q.Source, Target: q.Target, U: q.U, V: q.V, Paths: q.Paths}
 	}
-	answers, err := s.oracle.QueryBatchContext(r.Context(), queries)
+	// Per-batch deadline enforcement: the caller's declared budget is a
+	// context deadline on the oracle work, so the replica itself abandons
+	// a batch the caller has given up on instead of computing into the
+	// void. The engine observes the context between per-source builds.
+	ctx := r.Context()
+	if req.DeadlineMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMillis)*time.Millisecond)
+		defer cancel()
+	}
+	answers, err := s.oracle.QueryBatchContext(ctx, queries)
 	if err != nil {
-		// Only the request context cancels a batch: the client timed out
-		// or disconnected. 503 tells any intermediary the work was shed.
+		// The declared budget expiring is the replica's own verdict —
+		// 504, the signal a router maps to a per-item deadline miss.
+		// Anything else is the client timing out or disconnecting; 503
+		// tells any intermediary the work was shed.
+		if errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil {
+			writeJSON(w, http.StatusGatewayTimeout, QueryResponse{Error: "batch deadline exceeded: " + err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusServiceUnavailable, QueryResponse{Error: "batch cancelled: " + err.Error()})
 		return
 	}
@@ -364,19 +403,69 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
-// WarmResponse is the /v1/warm response body.
+// WarmRequest is the optional /v1/warm request body. An empty body (the
+// original wire contract) warms every source via the §8 batch pipeline;
+// a non-empty Sources list materializes just that slice via the
+// per-source build path (Oracle.WarmSources) — the form a router uses
+// to pre-build each replica's hash slice without paying for σ.
+type WarmRequest struct {
+	Sources []int `json:"sources"`
+}
+
+// WarmResponse is the /v1/warm response body. Warmed is the size of the
+// requested slice on slice warms (0 on full warms).
 type WarmResponse struct {
 	CachedSources int    `json:"cachedSources"`
+	Warmed        int    `json:"warmed,omitempty"`
 	Error         string `json:"error,omitempty"`
 }
 
 func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	// The body is read before admission for the same reason /v1/query's
+	// is: a trickling client must not pin the warm budget.
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, WarmResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	var wreq WarmRequest
+	if len(bytes.TrimSpace(body)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&wreq); err != nil {
+			writeJSON(w, http.StatusBadRequest, WarmResponse{Error: "bad warm body: " + err.Error()})
+			return
+		}
+	}
+
 	release, ok := acquire(s.warms)
 	if !ok {
 		s.reject(w, "warm")
 		return
 	}
 	defer release()
+
+	if len(wreq.Sources) > 0 {
+		if err := s.oracle.WarmSources(r.Context(), wreq.Sources); err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, msrp.ErrNotSource):
+				status = http.StatusBadRequest
+			case r.Context().Err() != nil:
+				status = http.StatusServiceUnavailable
+			}
+			writeJSON(w, status, WarmResponse{
+				CachedSources: s.oracle.CachedSources(),
+				Error:         err.Error(),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, WarmResponse{
+			CachedSources: s.oracle.CachedSources(),
+			Warmed:        len(wreq.Sources),
+		})
+		return
+	}
 
 	if err := s.oracle.WarmContext(r.Context()); err != nil {
 		status := http.StatusInternalServerError
@@ -390,6 +479,27 @@ func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, WarmResponse{CachedSources: s.oracle.CachedSources()})
+}
+
+// SourcesResponse is the /v1/sources response body: the replica's
+// source-set membership and which per-source results are materialized
+// right now. A router reads this to make placement and hand-back
+// decisions — e.g. whether a rejoined replica still holds its hash
+// slice warm — without guessing from counters.
+type SourcesResponse struct {
+	Sources          []int `json:"sources"`
+	Cached           []int `json:"cached"`
+	TrackPaths       bool  `json:"trackPaths"`
+	MaxCachedSources int   `json:"maxCachedSources"`
+}
+
+func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SourcesResponse{
+		Sources:          s.oracle.Sources(),
+		Cached:           s.oracle.CachedSourceIDs(),
+		TrackPaths:       s.oracle.Options().TrackPaths,
+		MaxCachedSources: s.oracle.Options().MaxCachedSources,
+	})
 }
 
 // StatsResponse is the /v1/stats response body: the Oracle's counters

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -323,6 +324,52 @@ func NewOracle(g *Graph, sources []int, opts Options) (*Oracle, error) {
 
 // Sources returns the oracle's source set in construction order.
 func (o *Oracle) Sources() []int { return append([]int(nil), o.sources...) }
+
+// IsSource reports whether v is one of the oracle's sources — the
+// membership test a routing tier needs for placement decisions without
+// copying the whole source set per check.
+func (o *Oracle) IsSource(v int) bool { return o.isSource[v] }
+
+// CachedSourceIDs returns the source ids whose per-source results are
+// currently materialized, in ascending order. This is the cache's
+// *contents* (CachedSources is just its size): a router deciding where
+// a source's queries should land — or whether handing a hash slice back
+// to a rejoined replica will hit warm state — reads this instead of
+// guessing.
+func (o *Oracle) CachedSourceIDs() []int {
+	o.mu.Lock()
+	ids := make([]int, 0, len(o.cache))
+	for s := range o.cache {
+		ids = append(ids, s)
+	}
+	o.mu.Unlock()
+	sort.Ints(ids)
+	return ids
+}
+
+// WarmSources materializes the given subset of sources (each must be an
+// oracle source), sharding the builds across the engine pool. Unlike
+// Warm it uses the per-source lazy build path rather than the §8 batch
+// pipeline, so the cached results are bit-identical to what on-demand
+// queries would have built — the property a replica fleet needs when a
+// router warms each replica's hash slice and expects every replica to
+// agree with a lazily-built single process. Already-cached sources are
+// no-ops (touched, not rebuilt); concurrent callers share in-flight
+// builds via the usual single-flight path.
+func (o *Oracle) WarmSources(ctx context.Context, sources []int) error {
+	for _, s := range sources {
+		if !o.isSource[s] {
+			return notSourceError(s)
+		}
+	}
+	err := o.pool.RunCtx(ctx, len(sources), func(i int) {
+		_, _ = o.result(ctx, sources[i], o.seq) // validated above; err is only ctx
+	})
+	if err != nil {
+		o.cancellations.Add(1)
+	}
+	return err
+}
 
 // Query answers a single replacement-path question; s must be one of
 // the oracle's sources. Safe for concurrent use.

@@ -1,0 +1,76 @@
+package msrp
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestWarmSourcesSubset covers the slice-warm oracle API the router
+// tier uses to pre-build each replica's hash slice: only the requested
+// sources materialize, the cache introspection reflects them, and
+// answers match a fully lazy oracle bit-for-bit.
+func TestWarmSourcesSubset(t *testing.T) {
+	g := GenerateRandomConnected(5, 80, 240)
+	sources := []int{0, 20, 40, 60}
+	opts := DefaultOptions()
+	opts.Parallelism = 2
+	warmed, err := NewOracle(g, sources, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := NewOracle(g, sources, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slice := []int{40, 0}
+	if err := warmed.WarmSources(context.Background(), slice); err != nil {
+		t.Fatal(err)
+	}
+	if got := warmed.CachedSources(); got != 2 {
+		t.Fatalf("CachedSources = %d, want 2", got)
+	}
+	ids := warmed.CachedSourceIDs()
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 40 {
+		t.Fatalf("CachedSourceIDs = %v, want [0 40]", ids)
+	}
+	if !warmed.IsSource(20) || warmed.IsSource(1) {
+		t.Fatal("IsSource membership wrong")
+	}
+
+	// Repeat warm is a no-op (hits, not rebuilds).
+	before := warmed.Stats().Builds
+	if err := warmed.WarmSources(context.Background(), slice); err != nil {
+		t.Fatal(err)
+	}
+	if after := warmed.Stats().Builds; after != before {
+		t.Fatalf("repeat WarmSources rebuilt: builds %d -> %d", before, after)
+	}
+
+	for _, s := range sources {
+		res := lazy.Result(s)
+		for tgt := 0; tgt < 80; tgt++ {
+			path := res.PathTo(tgt)
+			if len(path) < 2 {
+				continue
+			}
+			want, err := lazy.Query(s, tgt, int(path[0]), int(path[1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := warmed.Query(s, tgt, int(path[0]), int(path[1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("source %d target %d: slice-warmed %d != lazy %d", s, tgt, got, want)
+			}
+			break
+		}
+	}
+
+	if err := warmed.WarmSources(context.Background(), []int{7}); !errors.Is(err, ErrNotSource) {
+		t.Fatalf("WarmSources(non-source) = %v, want ErrNotSource", err)
+	}
+}
