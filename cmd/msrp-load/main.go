@@ -61,6 +61,8 @@ func run() error {
 		drainPid = flag.Int("drain-pid", 0, "server pid for drain waves / RSS sampling in -target mode")
 		out      = flag.String("out", "", "write the run record as a BENCH envelope to this file")
 		expName  = flag.String("experiment", "", "envelope experiment id (default: E16, or E17 for router plans)")
+		compare  = flag.String("compare", "", "committed BENCH envelope to diff this run against (the bench-regression gate)")
+		latTol   = flag.Float64("tolerance", 0, "latency tolerance factor for -compare (0 = default band)")
 		failOn5s = flag.Bool("fail-on-5xx", true, "exit non-zero when any wave observed a 5xx")
 		verbose  = flag.Bool("v", false, "log wave progress to stderr")
 	)
@@ -150,8 +152,32 @@ func run() error {
 		if w.Drain != nil && !w.Drain.Healthz503Observed {
 			return fmt.Errorf("wave %q drained but /healthz never reported 503", w.Name)
 		}
+		if w.PathInvalid > 0 {
+			return fmt.Errorf("wave %q served %d invalid paths (first: %s)", w.Name, w.PathInvalid, w.PathInvalidFirst)
+		}
 	}
-	return judgeChaos(res)
+	if err := judgeChaos(res); err != nil {
+		return err
+	}
+
+	if *compare != "" {
+		base, err := load.LoadBaseline(*compare)
+		if err != nil {
+			return err
+		}
+		tol := load.DefaultTolerance()
+		if *latTol > 0 {
+			tol.LatencyFactor = *latTol
+		}
+		if violations := load.Compare(res, base, tol); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "msrp-load: regression:", v)
+			}
+			return fmt.Errorf("run regressed against %s (%d violations)", *compare, len(violations))
+		}
+		fmt.Fprintf(os.Stderr, "msrp-load: inside the tolerance band of %s\n", *compare)
+	}
+	return nil
 }
 
 // judgeChaos turns a chaos run that didn't actually exercise the
@@ -221,9 +247,21 @@ func summarize(res *load.Result) {
 				w.Name, rd.Failovers, rd.FailoverWarms, rd.Retries,
 				rd.RouteErrors, rd.Handbacks, rd.ReplicasUp)
 		}
+		if w.PathsValidated+w.PathInvalid+w.PathBudgetErrors > 0 {
+			fmt.Printf("wave %-12s paths: validated=%d invalid=%d budgetErrors=%d\n",
+				w.Name, w.PathsValidated, w.PathInvalid, w.PathBudgetErrors)
+		}
+		if st := w.Stats; st != nil && st.ProvenanceEvictions+st.ProvenanceRebuilds > 0 {
+			fmt.Printf("wave %-12s provenance: evictions=%d rebuilds=%d\n",
+				w.Name, st.ProvenanceEvictions, st.ProvenanceRebuilds)
+		}
 	}
 	if res.PeakRSSBytes > 0 {
 		fmt.Printf("server peak RSS: %.1f MiB\n", float64(res.PeakRSSBytes)/(1<<20))
+	}
+	if s := res.Server; s != nil && s.PeakProvenanceBytes > 0 {
+		fmt.Printf("provenance: peak=%d bytes (raw=%d compacted=%d)\n",
+			s.PeakProvenanceBytes, s.ProvenanceRawBytes, s.ProvenanceCompactedBytes)
 	}
 }
 
@@ -303,6 +341,9 @@ func serveArgs(plan *load.Plan) []string {
 	if s := plan.Server; s != nil {
 		if s.MaxCached != 0 {
 			args = append(args, "-max-cached", strconv.Itoa(s.MaxCached))
+		}
+		if s.MaxProvenanceBytes != 0 {
+			args = append(args, "-max-provenance-bytes", strconv.FormatInt(s.MaxProvenanceBytes, 10))
 		}
 		if s.MaxInFlight != 0 {
 			args = append(args, "-max-inflight", strconv.Itoa(s.MaxInFlight))

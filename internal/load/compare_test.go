@@ -1,0 +1,80 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"msrp/internal/bench"
+)
+
+func mkResult(waves ...WaveResult) *Result {
+	return &Result{Plan: &Plan{Name: "t"}, Waves: waves}
+}
+
+func wave(name string, p50, p95, p99, rej float64) WaveResult {
+	return WaveResult{
+		Name:          name,
+		Latency:       bench.LatencyMillis{P50: p50, P95: p95, P99: p99},
+		RejectionRate: rej,
+	}
+}
+
+func TestCompareInsideBand(t *testing.T) {
+	base := mkResult(wave("a", 10, 50, 80, 0), wave("b", 20, 90, 120, 0.4))
+	fresh := mkResult(wave("a", 25, 110, 150, 0.05), wave("b", 55, 200, 300, 0.55))
+	if v := Compare(fresh, base, DefaultTolerance()); len(v) != 0 {
+		t.Fatalf("expected no violations, got %v", v)
+	}
+}
+
+func TestCompareCatchesRegressions(t *testing.T) {
+	base := mkResult(wave("a", 10, 50, 80, 0))
+	fresh := mkResult(wave("a", 10, 50, 80*3+101, 0.5))
+	v := Compare(fresh, base, DefaultTolerance())
+	if len(v) != 2 {
+		t.Fatalf("expected p99 + rejection violations, got %v", v)
+	}
+	if !strings.Contains(v[0], "p99") || !strings.Contains(v[1], "rejection rate") {
+		t.Fatalf("unexpected violations %v", v)
+	}
+}
+
+func TestCompareMissingWaveAndNewWave(t *testing.T) {
+	base := mkResult(wave("a", 10, 50, 80, 0), wave("gone", 10, 50, 80, 0))
+	fresh := mkResult(wave("a", 10, 50, 80, 0), wave("extra", 1e6, 1e6, 1e6, 1))
+	v := Compare(fresh, base, DefaultTolerance())
+	if len(v) != 1 || !strings.Contains(v[0], `"gone"`) {
+		t.Fatalf("expected only the missing-wave violation, got %v", v)
+	}
+}
+
+func TestCompareNewServerErrors(t *testing.T) {
+	base := mkResult(wave("a", 10, 50, 80, 0))
+	fresh := mkResult(wave("a", 10, 50, 80, 0))
+	fresh.Waves[0].ServerErrors = 3
+	v := Compare(fresh, base, DefaultTolerance())
+	if len(v) != 1 || !strings.Contains(v[0], "server errors") {
+		t.Fatalf("expected the server-error violation, got %v", v)
+	}
+}
+
+func TestLoadBaselineRoundTrip(t *testing.T) {
+	res := mkResult(wave("a", 10, 50, 80, 0.1))
+	env := bench.NewEnvelope("E16", "t", res)
+	path := filepath.Join(t.TempDir(), "BENCH_T.json")
+	if err := env.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Waves) != 1 || got.Waves[0].Name != "a" || got.Waves[0].Latency.P99 != 80 {
+		t.Fatalf("round trip mangled the result: %+v", got)
+	}
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json")); !os.IsNotExist(err) {
+		t.Fatalf("expected not-exist error, got %v", err)
+	}
+}

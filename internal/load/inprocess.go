@@ -34,6 +34,7 @@ func NewInProcess(plan *Plan) (*InProcess, *Target, error) {
 	opts.TrackPaths = plan.TrackPaths
 	if s := plan.Server; s != nil {
 		opts.MaxCachedSources = s.MaxCached
+		opts.MaxProvenanceBytes = s.MaxProvenanceBytes
 		opts.Parallelism = s.Parallelism
 	}
 	oracle, err := msrp.NewOracle(g, AutoSources(g.NumVertices(), plan.Sources), opts)

@@ -88,6 +88,11 @@ type ServerSpec struct {
 	MaxInFlight int `json:"maxInFlight,omitempty"`
 	// MaxCached bounds the oracle's per-source LRU (0 = unlimited).
 	MaxCached int `json:"maxCached,omitempty"`
+	// MaxProvenanceBytes is the byte budget for retained path
+	// provenance (0 = unlimited): over-budget sources keep serving
+	// lengths and rebuild provenance on demand when a path query
+	// lands on them.
+	MaxProvenanceBytes int64 `json:"maxProvenanceBytes,omitempty"`
 	// Parallelism is the engine worker count (0 = GOMAXPROCS).
 	Parallelism int `json:"parallelism,omitempty"`
 	// Lameduck is how long the spawned server keeps its listener open

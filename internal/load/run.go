@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"msrp/internal/bench"
+	"msrp/internal/graph"
 	"msrp/internal/server"
 	"msrp/internal/xrand"
 )
@@ -77,13 +78,26 @@ type StatsDelta struct {
 	Rejections    int64 `json:"rejections"`
 	Cancellations int64 `json:"cancellations"`
 	Evictions     int64 `json:"evictions"`
+	// The provenance tier under a MaxProvenanceBytes budget: sources
+	// whose provenance the budget stripped, and on-demand tracked
+	// rebuilds triggered by path queries against stripped sources.
+	ProvenanceEvictions int64 `json:"provenanceEvictions,omitempty"`
+	ProvenanceRebuilds  int64 `json:"provenanceRebuilds,omitempty"`
 }
 
 // StatsGauges is the point-in-time server state recorded with a run:
 // the /v1/stats gauges the ROADMAP tracks at serving scale.
 type StatsGauges struct {
-	CachedSources                 int     `json:"cachedSources"`
-	ProvenanceBytes               int64   `json:"provenanceBytes"`
+	CachedSources   int   `json:"cachedSources"`
+	ProvenanceBytes int64 `json:"provenanceBytes"`
+	// PeakProvenanceBytes is the largest ProvenanceBytes any stats
+	// scrape of this run observed — the record that the gauge stayed
+	// under the plan's maxProvenanceBytes budget throughout.
+	PeakProvenanceBytes int64 `json:"peakProvenanceBytes,omitempty"`
+	// The most recent warm's provenance plane before and after
+	// post-solve compaction (zero on untracked or warm-less runs).
+	ProvenanceRawBytes            int64   `json:"provenanceRawBytes,omitempty"`
+	ProvenanceCompactedBytes      int64   `json:"provenanceCompactedBytes,omitempty"`
 	WarmStageBuildMillis          float64 `json:"warmStageBuildMillis"`
 	WarmStageSeedEnumerateMillis  float64 `json:"warmStageSeedEnumerateMillis"`
 	WarmStageSeedMergeMillis      float64 `json:"warmStageSeedMergeMillis"`
@@ -193,6 +207,18 @@ type WaveResult struct {
 	RouteErrors    int64 `json:"routeErrors,omitempty"`
 	PartialBatches int64 `json:"partialBatches,omitempty"`
 
+	// Served-path validation: every path returned to a "paths": true
+	// query is machine-checked client-side against the regenerated
+	// graph (a real walk in G−e from source to target of exactly
+	// Length edges). PathsValidated counts paths that passed,
+	// PathInvalid paths that failed (must stay zero),
+	// PathBudgetErrors answers whose per-response path-vertex budget
+	// ran out (pathError — length still served).
+	PathsValidated   int64  `json:"pathsValidated,omitempty"`
+	PathInvalid      int64  `json:"pathInvalid,omitempty"`
+	PathInvalidFirst string `json:"pathInvalidFirst,omitempty"`
+	PathBudgetErrors int64  `json:"pathBudgetErrors,omitempty"`
+
 	Drain  *DrainResult `json:"drain,omitempty"`
 	Chaos  *ChaosResult `json:"chaos,omitempty"`
 	Stats  *StatsDelta  `json:"stats,omitempty"`
@@ -221,7 +247,7 @@ type Result struct {
 // the harness itself failing (bad plan graph, no sources, warm-up
 // never admitted).
 func Run(ctx context.Context, plan *Plan, tgt *Target, opt Options) (*Result, error) {
-	gen, _, err := NewQueryGen(plan)
+	gen, g, err := NewQueryGen(plan)
 	if err != nil {
 		return nil, err
 	}
@@ -242,6 +268,7 @@ func Run(ctx context.Context, plan *Plan, tgt *Target, opt Options) (*Result, er
 		plan:   plan,
 		tgt:    tgt,
 		gen:    gen,
+		graph:  g,
 		client: client,
 		opt:    opt,
 	}
@@ -285,9 +312,13 @@ func Run(ctx context.Context, plan *Plan, tgt *Target, opt Options) (*Result, er
 		opt.logf("warm-up done in %.0fms", res.WarmMillis)
 	}
 
+	var peakProv int64
 	for i := range plan.Waves {
 		wave := &plan.Waves[i]
 		before, beforeOK := r.scrapeStats(ctx)
+		if beforeOK && before.ProvenanceBytes > peakProv {
+			peakProv = before.ProvenanceBytes
+		}
 		opt.logf("wave %q: %d clients, %s arrival, %v", wave.Name, wave.Clients, arrivalOf(wave), time.Duration(wave.Duration))
 		wr, err := r.runWave(ctx, wave)
 		if err != nil {
@@ -296,12 +327,14 @@ func Run(ctx context.Context, plan *Plan, tgt *Target, opt Options) (*Result, er
 		if after, ok := r.scrapeStats(ctx); ok {
 			if beforeOK {
 				wr.Stats = &StatsDelta{
-					Batches:       after.Batches - before.Batches,
-					BatchQueries:  after.BatchQueries - before.BatchQueries,
-					Builds:        after.Builds - before.Builds,
-					Rejections:    after.Rejections - before.Rejections,
-					Cancellations: after.Cancellations - before.Cancellations,
-					Evictions:     after.Evictions - before.Evictions,
+					Batches:             after.Batches - before.Batches,
+					BatchQueries:        after.BatchQueries - before.BatchQueries,
+					Builds:              after.Builds - before.Builds,
+					Rejections:          after.Rejections - before.Rejections,
+					Cancellations:       after.Cancellations - before.Cancellations,
+					Evictions:           after.Evictions - before.Evictions,
+					ProvenanceEvictions: after.ProvenanceEvictions - before.ProvenanceEvictions,
+					ProvenanceRebuilds:  after.ProvenanceRebuilds - before.ProvenanceRebuilds,
 				}
 				if after.Router != nil && before.Router != nil {
 					wr.Router = &RouterDelta{
@@ -318,9 +351,15 @@ func Run(ctx context.Context, plan *Plan, tgt *Target, opt Options) (*Result, er
 					}
 				}
 			}
+			if after.ProvenanceBytes > peakProv {
+				peakProv = after.ProvenanceBytes
+			}
 			res.Server = &StatsGauges{
 				CachedSources:                 after.CachedSources,
 				ProvenanceBytes:               after.ProvenanceBytes,
+				PeakProvenanceBytes:           peakProv,
+				ProvenanceRawBytes:            after.ProvenanceRawBytes,
+				ProvenanceCompactedBytes:      after.ProvenanceCompactedBytes,
 				WarmStageBuildMillis:          after.WarmStageBuildMillis,
 				WarmStageSeedEnumerateMillis:  after.WarmStageSeedEnumerateMillis,
 				WarmStageSeedMergeMillis:      after.WarmStageSeedMergeMillis,
@@ -348,6 +387,7 @@ type runner struct {
 	plan   *Plan
 	tgt    *Target
 	gen    *QueryGen
+	graph  *graph.Graph
 	client *http.Client
 	opt    Options
 }
@@ -464,6 +504,11 @@ type worker struct {
 
 	routeErrors    int64
 	partialBatches int64
+
+	pathsValidated   int64
+	pathInvalid      int64
+	pathInvalidFirst string
+	pathBudgetErrors int64
 
 	completedAfterDrain    int64
 	serverErrorsAfterDrain int64
@@ -661,6 +706,12 @@ func (r *runner) runWave(ctx context.Context, wave *Wave) (*WaveResult, error) {
 		wr.RetryAfterMeanSecs += float64(w.retryAfterSecs)
 		wr.RouteErrors += w.routeErrors
 		wr.PartialBatches += w.partialBatches
+		wr.PathsValidated += w.pathsValidated
+		wr.PathInvalid += w.pathInvalid
+		if wr.PathInvalidFirst == "" {
+			wr.PathInvalidFirst = w.pathInvalidFirst
+		}
+		wr.PathBudgetErrors += w.pathBudgetErrors
 		if wr.Drain != nil {
 			wr.Drain.CompletedAfterDrain += w.completedAfterDrain
 			wr.Drain.ServerErrorsAfterDrain += w.serverErrorsAfterDrain
@@ -765,11 +816,21 @@ func (r *runner) doBatch(ctx context.Context, w *worker, req server.QueryRequest
 		time.Sleep(20 * time.Millisecond)
 		return outcomeTransportError
 	}
-	// Router plans read the answers back out: per-item routeErrors are
-	// the router's failure currency (a single server never sets them, so
-	// the decode is skipped and the body discarded unread).
+	// The answers are read back out when the harness needs them:
+	// router plans for per-item routeErrors (the router's failure
+	// currency — a single server never sets them), and any batch that
+	// requested paths, so each served path can be machine-validated
+	// against the regenerated graph. Otherwise the decode is skipped
+	// and the body discarded unread.
+	wantPaths := false
+	for i := range req.Queries {
+		if req.Queries[i].Paths {
+			wantPaths = true
+			break
+		}
+	}
 	var respBody []byte
-	if r.plan.Router != nil && resp.StatusCode >= 200 && resp.StatusCode < 300 {
+	if (r.plan.Router != nil || wantPaths) && resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		respBody, _ = io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	}
 	io.Copy(io.Discard, resp.Body)
@@ -799,6 +860,9 @@ func (r *runner) doBatch(ctx context.Context, w *worker, req server.QueryRequest
 					w.partialBatches++
 					w.completedQueries -= failed
 				}
+				if wantPaths {
+					r.validatePaths(w, req.Queries, qr.Answers)
+				}
 			}
 		}
 		return outcomeCompleted
@@ -818,6 +882,61 @@ func (r *runner) doBatch(ctx context.Context, w *worker, req server.QueryRequest
 		w.clientErrors++
 		return outcomeClientError
 	}
+}
+
+// validatePaths machine-checks every served path in a batch's answers
+// against the regenerated graph and tallies the verdicts on the worker.
+// Answers that carry no path by design — noPath (bridge), per-item
+// error, routeError, or a pathError from the response's path-vertex
+// budget — are not validation failures.
+func (r *runner) validatePaths(w *worker, queries []server.QueryItem, answers []server.AnswerItem) {
+	for i := range queries {
+		q := &queries[i]
+		if !q.Paths || i >= len(answers) {
+			continue
+		}
+		a := &answers[i]
+		switch {
+		case a.RouteError != "" || a.Error != "" || a.NoPath:
+		case a.PathError != "":
+			w.pathBudgetErrors++
+		default:
+			if err := validatePath(r.graph, q, a); err != nil {
+				w.pathInvalid++
+				if w.pathInvalidFirst == "" {
+					w.pathInvalidFirst = err.Error()
+				}
+			} else {
+				w.pathsValidated++
+			}
+		}
+	}
+}
+
+// validatePath checks one served path certificate: a real walk in G−e
+// from source to target of exactly Length edges, never crossing the
+// avoided edge.
+func validatePath(g *graph.Graph, q *server.QueryItem, a *server.AnswerItem) error {
+	p := a.Path
+	if len(p) == 0 {
+		return fmt.Errorf("source %d target %d: answer has no path", q.Source, q.Target)
+	}
+	if int32(len(p)-1) != a.Length {
+		return fmt.Errorf("source %d target %d: path has %d edges, answer length %d", q.Source, q.Target, len(p)-1, a.Length)
+	}
+	if int(p[0]) != q.Source || int(p[len(p)-1]) != q.Target {
+		return fmt.Errorf("path runs %d→%d, want %d→%d", p[0], p[len(p)-1], q.Source, q.Target)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		u, v := int(p[i]), int(p[i+1])
+		if !g.HasEdge(u, v) {
+			return fmt.Errorf("source %d target %d: step %d–%d is not an edge", q.Source, q.Target, u, v)
+		}
+		if (u == q.U && v == q.V) || (u == q.V && v == q.U) {
+			return fmt.Errorf("source %d target %d: path crosses the avoided edge %d–%d", q.Source, q.Target, q.U, q.V)
+		}
+	}
+	return nil
 }
 
 func (r *runner) getHealthz() (int, bool) {

@@ -1,0 +1,131 @@
+package msrp
+
+import (
+	"testing"
+
+	"msrp/internal/graph"
+	"msrp/internal/rp"
+)
+
+// fuzzGraphBytes deterministically decodes fuzz bytes into a small
+// simple graph (same scheme as the root package's oracle fuzz target):
+// the first byte picks n ∈ [4, 16], each following byte pair proposes
+// an edge (self-loops and duplicates skipped). Returns nil when no
+// edge survives.
+func fuzzGraphBytes(data []byte) *graph.Graph {
+	if len(data) < 3 {
+		return nil
+	}
+	n := 4 + int(data[0]%13)
+	b := graph.NewBuilder(n)
+	seen := make(map[[2]int]bool)
+	edges := 0
+	for i := 1; i+1 < len(data) && edges < 4*n; i += 2 {
+		u, v := int(data[i])%n, int(data[i+1])%n
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		if err := b.AddEdge(u, v); err != nil {
+			return nil
+		}
+		edges++
+	}
+	if edges == 0 {
+		return nil
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil
+	}
+	return g
+}
+
+// FuzzCompactExplain is the compaction soundness target: on arbitrary
+// graphs and seeds, the compact representation must expand every finite
+// LenSR entry byte-identically to the full provenance plane's explain
+// walk, and the repointed ReconstructPath must keep certifying every
+// answer. This must hold on EVERY input — compaction is a lossless
+// re-encoding of the winning chains, not an approximation.
+func FuzzCompactExplain(f *testing.F) {
+	f.Add([]byte{5, 0, 1, 1, 2, 2, 3, 3, 4, 4, 0}, uint64(1))
+	f.Add([]byte{0, 0, 1, 1, 2, 2, 3}, uint64(7)) // path: bridges everywhere
+	f.Add([]byte{12, 0, 1, 0, 2, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 2, 6}, uint64(3))
+	f.Add([]byte{9, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 0, 0, 4, 2, 6}, uint64(11))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		g := fuzzGraphBytes(data)
+		if g == nil {
+			t.Skip()
+		}
+		n := g.NumVertices()
+		sources := []int32{0}
+		if s2 := int32(n / 2); s2 != 0 {
+			sources = append(sources, s2)
+		}
+		p := DefaultParams()
+		p.Seed = seed
+		p.SampleBoost = 4
+		p.SuffixScale = 0.25
+		p.TrackPaths = true
+		sol, err := Solve(g, sources, p)
+		if err != nil {
+			t.Fatalf("tracked solve failed on a valid graph: %v", err)
+		}
+		pv := sol.Prov
+		if pv == nil {
+			t.Fatal("tracked solve returned no provenance plane")
+		}
+
+		// Raw explain walks over the complete finite candidate space,
+		// captured before compaction drops the plane.
+		type key struct {
+			si int
+			r  int32
+			i  int
+		}
+		raw := make(map[key][]int32)
+		for si, ps := range sol.PerSource {
+			for r, row := range ps.LenSR {
+				for i, v := range row {
+					if v >= rp.Inf {
+						continue
+					}
+					pth, _, err := pv.expandLenSR(si, r, int32(i), ps.EdgeAt(r, i), v, 0)
+					if err != nil {
+						t.Fatalf("raw expand (si=%d r=%d i=%d): %v", si, r, i, err)
+					}
+					raw[key{si, r, i}] = pth
+				}
+			}
+		}
+
+		if err := sol.CompactProvenance(); err != nil {
+			t.Fatalf("compaction failed: %v", err)
+		}
+		for k, want := range raw {
+			got, err := sol.Compact[k.si].expand(k.r, k.i, 0)
+			if err != nil {
+				t.Fatalf("compact expand (si=%d r=%d i=%d): %v", k.si, k.r, k.i, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("compact expand (si=%d r=%d i=%d): %v != raw %v", k.si, k.r, k.i, got, want)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("compact expand (si=%d r=%d i=%d): %v != raw %v", k.si, k.r, k.i, got, want)
+				}
+			}
+		}
+		for i, res := range sol.Results {
+			if _, failures := rp.VerifyReconstructions(g, res, 1, sol.PerSource[i].ReconstructPath); len(failures) > 0 {
+				t.Fatalf("source %d post-compaction reconstruction failures: %v", sources[i], failures[0])
+			}
+		}
+	})
+}

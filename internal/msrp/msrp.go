@@ -129,8 +129,12 @@ type Solution struct {
 	// PerSource[i].ReconstructPath expands Results[i]'s answers when
 	// Params.TrackPaths was set.
 	PerSource []*ssrp.PerSource
-	// Prov is the shared §8 provenance plane (nil unless tracking).
+	// Prov is the shared §8 provenance plane (nil unless tracking, and
+	// nil again after CompactProvenance replaces it).
 	Prov *Provenance
+	// Compact holds the per-source compacted provenance records, in
+	// source order (nil until CompactProvenance runs).
+	Compact []*CompactProv
 	// Stats holds the observability counters.
 	Stats *Stats
 }
@@ -215,7 +219,11 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) (*Solution, error)
 	buildOne := func(i int, sc *engine.Scratch) {
 		start := time.Now()
 		ps := sh.NewPerSource(sources[i])
-		ps.TrackPaths = p.TrackPaths
+		// §8.3.2 bottleneck values are build-run-discard and carry no
+		// retainable provenance, so a bottleneck solve serves lengths
+		// only: tracking stays off per source, and path queries fail
+		// per-query instead of the whole solve being rejected.
+		ps.TrackPaths = p.TrackPaths && !p.PaperBottleneck
 		ps.BuildSmallNearScratch(sc)
 		perSrc[i] = ps
 		scs[i] = buildSourceCenter(ps, ctr, sc)
@@ -225,7 +233,7 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) (*Solution, error)
 	enumerateOne := func(i int, sc *engine.Scratch) {
 		start := time.Now()
 		shards[i] = buildSeedShard(perSrc[i], ctr, sc)
-		if p.TrackPaths {
+		if perSrc[i].TrackPaths {
 			// The compact witness snapshot is taken between the shard
 			// enumeration (the last consumer of the full path state)
 			// and the release below, in both schedules — the retained
@@ -319,7 +327,7 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) (*Solution, error)
 		stats.NearLargeScans += pss[i].combine.NearLargeScans
 	}
 	sol := &Solution{Results: results, PerSource: perSrc, Stats: stats}
-	if p.TrackPaths {
+	if p.TrackPaths && !p.PaperBottleneck {
 		sol.Prov = newProvenance(sh, ctr, perSrc, scs, cl, seed)
 		stats.ProvenanceBytes = sol.Prov.Bytes()
 		for _, ps := range perSrc {

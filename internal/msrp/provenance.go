@@ -98,7 +98,7 @@ func (pv *Provenance) landmarkPath(si int, r int32, i int) ([]int32, error) {
 		return nil, fmt.Errorf("msrp: landmark path requested for an unreachable value (r=%d i=%d)", r, i)
 	}
 	e := ps.EdgeAt(r, i)
-	p, err := pv.expandLenSR(si, r, int32(i), e, v, 0)
+	p, _, err := pv.expandLenSR(si, r, int32(i), e, v, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -113,17 +113,22 @@ func (pv *Provenance) landmarkPath(si int, r int32, i int) ([]int32, error) {
 // assembly's candidate space; every accepted candidate is re-validated
 // for e-avoidance, so the result is sound even where the assembly's
 // sharper interval arguments were in play.
-func (pv *Provenance) expandLenSR(si int, r, i, e int32, v int32, depth int) ([]int32, error) {
+//
+// Alongside the walk it reports *which* candidate won, in the compact
+// plane's vocabulary (compact.go): the §7.1 small value, a landmark
+// detour with a canonical or recursively-expanded prefix, or one of the
+// two MTC terms — the compaction pass keeps the winner, not the search.
+func (pv *Provenance) expandLenSR(si int, r, i, e int32, v int32, depth int) ([]int32, winner, error) {
 	ps := pv.perSrc[si]
 	g := pv.sh.G
 	if depth > g.NumVertices()+1 {
-		return nil, fmt.Errorf("msrp: provenance recursion exceeded %d hops (r=%d i=%d)", depth, r, i)
+		return nil, winner{}, fmt.Errorf("msrp: provenance recursion exceeded %d hops (r=%d i=%d)", depth, r, i)
 	}
 
 	// 1. The §7.1 small value, expanded from the witness snapshot.
 	if ps.Small.Value(r, int(i)) == v {
 		if p := ps.Snap.PathVertices(r, int(i)); p != nil {
-			return p, nil
+			return p, winner{kind: cSmall}, nil
 		}
 	}
 
@@ -147,15 +152,17 @@ func (pv *Provenance) expandLenSR(si int, r, i, e int32, v int32, depth int) ([]
 			continue
 		}
 		var prefix []int32
+		kind := cViaCanon
 		if !ps.AncS.EdgeOnRootPath(g, e, r2) {
 			prefix = ps.Ts.PathTo(r2)
 		} else {
 			var err error
-			if prefix, err = pv.expandLenSR(si, r2, i, e, d2, depth+1); err != nil {
+			if prefix, _, err = pv.expandLenSR(si, r2, i, e, d2, depth+1); err != nil {
 				continue
 			}
+			kind = cViaChain
 		}
-		return appendLeg(prefix, pv.sh.Tree[r2].PathTo(r)), nil
+		return appendLeg(prefix, pv.sh.Tree[r2].PathTo(r)), winner{kind: kind, r2: r2}, nil
 	}
 
 	// 3. MTC term 1: |s c| + d(c,r,e) through a center whose canonical
@@ -175,7 +182,7 @@ func (pv *Provenance) expandLenSR(si int, r, i, e int32, v int32, depth int) ([]
 		if err != nil {
 			continue
 		}
-		return appendLeg(ps.Ts.PathTo(c), suffix), nil
+		return appendLeg(ps.Ts.PathTo(c), suffix), winner{kind: cPath}, nil
 	}
 
 	// 4. MTC term 2: d(s,c,e) + |c r| through a center whose canonical
@@ -197,10 +204,10 @@ func (pv *Provenance) expandLenSR(si int, r, i, e int32, v int32, depth int) ([]
 		if err != nil {
 			continue
 		}
-		return appendLeg(prefix, pv.ctr.Tree[c].PathTo(r)), nil
+		return appendLeg(prefix, pv.ctr.Tree[c].PathTo(r)), winner{kind: cPath}, nil
 	}
 
-	return nil, fmt.Errorf("msrp: no provenance candidate realizes LenSR value %d (r=%d i=%d; non-converged sweep?)", v, r, i)
+	return nil, winner{}, fmt.Errorf("msrp: no provenance candidate realizes LenSR value %d (r=%d i=%d; non-converged sweep?)", v, r, i)
 }
 
 // expandSC expands a d(s,c,e)-realizing walk (s … c) for source index

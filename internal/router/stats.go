@@ -66,6 +66,12 @@ func aggregate(parts []*server.StatsResponse) server.StatsResponse {
 		agg.Cancellations += p.Cancellations
 		agg.CachedSources += p.CachedSources
 		agg.ProvenanceBytes += p.ProvenanceBytes
+		agg.ProvenanceEvictions += p.ProvenanceEvictions
+		agg.ProvenanceRebuilds += p.ProvenanceRebuilds
+		// The raw/compacted pair sums too: each replica warms its own
+		// slice, so the fleet's plane is the sum of the slices' planes.
+		agg.ProvenanceRawBytes += p.ProvenanceRawBytes
+		agg.ProvenanceCompactedBytes += p.ProvenanceCompactedBytes
 		if p.Sources > agg.Sources {
 			agg.Sources = p.Sources
 		}

@@ -523,6 +523,14 @@ type StatsResponse struct {
 	MaxCachedSources int     `json:"maxCachedSources"`
 	ProvenanceBytes  int64   `json:"provenanceBytes"`
 
+	// The provenance tier (Options.MaxProvenanceBytes): budget strips,
+	// on-demand tracked rebuilds, and the most recent warm's plane size
+	// before/after post-solve compaction.
+	ProvenanceEvictions      int64 `json:"provenanceEvictions"`
+	ProvenanceRebuilds       int64 `json:"provenanceRebuilds"`
+	ProvenanceRawBytes       int64 `json:"provenanceRawBytes"`
+	ProvenanceCompactedBytes int64 `json:"provenanceCompactedBytes"`
+
 	// Stage-latency breakdown of the most recent completed warm (zero
 	// before any) and its peak live §7.1 path-expansion state — the
 	// measured-latency inputs for load shedding. The per-source stages
@@ -561,6 +569,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Sources:          s.numSources,
 		MaxCachedSources: s.oracle.Options().MaxCachedSources,
 		ProvenanceBytes:  st.ProvenanceBytes,
+
+		ProvenanceEvictions:      st.ProvenanceEvictions,
+		ProvenanceRebuilds:       st.ProvenanceRebuilds,
+		ProvenanceRawBytes:       st.ProvenanceRawBytes,
+		ProvenanceCompactedBytes: st.ProvenanceCompactedBytes,
 
 		WarmStageBuildMillis:          millis(st.WarmStages.PerSourceBuild),
 		WarmStageSeedEnumerateMillis:  millis(st.WarmStages.SeedEnumerate),

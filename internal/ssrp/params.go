@@ -99,12 +99,12 @@ func (p Params) Validate() error {
 	if p.SuffixScale <= 0 {
 		return fmt.Errorf("%w: SuffixScale = %v", ErrBadParams, p.SuffixScale)
 	}
-	if p.TrackPaths && p.PaperBottleneck {
-		// The §8.3 bottleneck assembly has no provenance plane (its
-		// sr ⋄ B values come from the §8.3.2 graph, which is
-		// build-run-discard); the default assembly is the tracked mode.
-		return fmt.Errorf("%w: TrackPaths is not supported with PaperBottleneck", ErrBadParams)
-	}
+	// TrackPaths + PaperBottleneck is accepted: the §8.3 bottleneck
+	// assembly has no provenance plane (its sr ⋄ B values come from the
+	// §8.3.2 graph, which is build-run-discard), so the multi-source
+	// solver downgrades tracking per source — lengths are served, path
+	// queries fail per query (ErrPathsNotTracked at the public layer)
+	// instead of the whole solve being rejected here.
 	return nil
 }
 

@@ -138,6 +138,16 @@ type Options struct {
 	// tracking on or off; the cost is the retained provenance plane,
 	// reported by OracleStats.ProvenanceBytes on the serving path.
 	TrackPaths bool
+
+	// MaxProvenanceBytes bounds the total provenance the Oracle retains
+	// across cached sources (the ProvenanceBytes gauge), in bytes; 0
+	// means unlimited. When the budget is exceeded the least recently
+	// path-queried sources drop their provenance but keep their cached
+	// lengths; a later path query against such a source triggers an
+	// on-demand tracked rebuild through the Oracle's single-flight path
+	// (counted by OracleStats.ProvenanceEvictions / ProvenanceRebuilds).
+	// Only meaningful with TrackPaths; ignored by the one-shot solvers.
+	MaxProvenanceBytes int64
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -331,7 +341,11 @@ func MultiSource(g *Graph, sources []int, opts Options) ([]*Result, error) {
 	out := make([]*Result, len(sol.Results))
 	for i, res := range sol.Results {
 		out[i] = wrapResult(g.g, res)
-		if opts.TrackPaths {
+		// Gate on the per-source flag, not the option: the solver may
+		// downgrade tracking (e.g. the bottleneck assembly has no
+		// provenance), in which case path queries must fail per query
+		// with ErrPathsNotTracked rather than panic on absent state.
+		if sol.PerSource[i].TrackPaths {
 			out[i].ps = sol.PerSource[i]
 		}
 	}

@@ -121,15 +121,30 @@ type Oracle struct {
 	warmPeakSeedBytes int64
 
 	// provBytes tracks the retained provenance plane (guarded by mu):
-	// per-entry snapshot/provenance bytes move with LRU inserts and
-	// evictions; a completed Warm adds its shared §8 plane once.
+	// per-entry snapshot/provenance bytes move with LRU inserts,
+	// evictions, and budget strips.
 	provBytes int64
-	// warmProv pins the warm provenance plane (guarded by mu). Without
-	// this anchor the plane would only be reachable through cached warm
-	// results' closures and could be collected once the LRU churned
-	// them all out — leaving provBytes counting freed memory and warm
-	// results rebuilt lazily without the plane's answers. Tracked warm
-	// state is for the oracle's lifetime, as the Stats docs promise.
+	// The provenance tier (guarded by mu): a second LRU over the cache
+	// entries that carry individually-freeable provenance, ordered by
+	// path-query recency. When provBytes exceeds
+	// Options.MaxProvenanceBytes the tail entries are stripped — their
+	// provenance dropped, their cached lengths kept — and a later path
+	// query rebuilds tracked state through the single-flight path.
+	provHead *lruEntry // most recently path-queried
+	provTail *lruEntry // least recently path-queried; next strip
+	// Tier counters and the compaction before/after record of the most
+	// recent Warm (all guarded by mu; they are only written under it).
+	provenanceEvictions int64
+	provenanceRebuilds  int64
+	provRawBytes        int64
+	provCompactedBytes  int64
+	// warmProv pins the warm provenance plane (guarded by mu) — but only
+	// on the fallback path where post-solve compaction failed and the
+	// full shared §8 plane (parent chains, seed table, center forest)
+	// must stay alive as one immortal unit. The normal path compacts the
+	// plane into self-contained per-source records that live and die
+	// with their cache entries, so nothing needs pinning and the byte
+	// budget can actually free memory.
 	warmProv *msrpcore.Solution
 }
 
@@ -185,14 +200,30 @@ type OracleStats struct {
 	// plane under Options.TrackPaths — what tracking keeps alive that a
 	// length-only oracle would have dropped. Lazy builds contribute per
 	// cached entry (witness snapshot + Value-lookup plane + answer
-	// provenance + witnesses) and are released by LRU eviction; a
-	// completed Warm contributes its whole plane once (every source's
-	// snapshot plus the shared §8 parent chains, seed table, and center
-	// forest) and keeps it for the oracle's lifetime — the explain
-	// machinery reaches all of it, so evicting a warm entry frees
-	// nothing. 0 on untracked oracles. Unlike the other counters it is
-	// a gauge, not a monotone counter.
+	// provenance + witnesses); a completed Warm compacts its shared §8
+	// plane into self-contained per-source records and contributes those
+	// per entry too. Either way an entry's provenance is freed by LRU
+	// eviction or by a MaxProvenanceBytes budget strip, so the gauge
+	// tracks memory that can actually be reclaimed. (Fallback fine
+	// print: if post-warm compaction fails, the full plane is pinned for
+	// the oracle's lifetime and counted once — recognizable by
+	// ProvenanceCompactedBytes staying 0 after a tracked warm.) 0 on
+	// untracked oracles. Unlike the other counters it is a gauge, not a
+	// monotone counter.
 	ProvenanceBytes int64
+	// ProvenanceEvictions counts sources whose provenance was dropped by
+	// the MaxProvenanceBytes budget. The source's lengths stay cached
+	// and keep serving; only path expansion requires a rebuild.
+	ProvenanceEvictions int64
+	// ProvenanceRebuilds counts on-demand tracked rebuilds triggered by
+	// a path query against a source whose provenance had been evicted.
+	ProvenanceRebuilds int64
+	// ProvenanceRawBytes and ProvenanceCompactedBytes record the most
+	// recent completed Warm's provenance plane before and after
+	// post-solve compaction (zero before any tracked warm; compacted
+	// stays zero if compaction fell back to pinning the raw plane).
+	ProvenanceRawBytes       int64
+	ProvenanceCompactedBytes int64
 	// WarmStages is the stage-latency breakdown of the most recent
 	// completed Warm pipeline (zero before any warm completes).
 	WarmStages StageTimes
@@ -241,9 +272,17 @@ func (o *Oracle) Stats() OracleStats {
 	warmStages := o.warmStages
 	warmPeak := o.warmPeakSeedBytes
 	provBytes := o.provBytes
+	provEvictions := o.provenanceEvictions
+	provRebuilds := o.provenanceRebuilds
+	provRaw := o.provRawBytes
+	provCompacted := o.provCompactedBytes
 	o.mu.Unlock()
 	return OracleStats{
-		ProvenanceBytes:       provBytes,
+		ProvenanceBytes:          provBytes,
+		ProvenanceEvictions:      provEvictions,
+		ProvenanceRebuilds:       provRebuilds,
+		ProvenanceRawBytes:       provRaw,
+		ProvenanceCompactedBytes: provCompacted,
 		Hits:                  o.hits.Load(),
 		Misses:                o.misses.Load(),
 		Builds:                o.builds.Load(),
@@ -276,6 +315,12 @@ type lruEntry struct {
 	res        *Result
 	provBytes  int64 // per-entry provenance footprint, for the gauge
 	prev, next *lruEntry
+	// Provenance-tier links: a second LRU (ordered by path-query
+	// recency) over the entries whose provenance is individually
+	// freeable. inProv marks membership; stripped and zero-weight
+	// entries are not linked.
+	provPrev, provNext *lruEntry
+	inProv             bool
 }
 
 type oracleCall struct {
@@ -406,8 +451,11 @@ func (o *Oracle) QueryBatchContext(ctx context.Context, queries []Query) ([]Answ
 	o.batchQueries.Add(int64(len(queries)))
 	answers := make([]Answer, len(queries))
 
-	// Group query indices by source, keeping first-seen order.
+	// Group query indices by source, keeping first-seen order, and note
+	// which sources need provenance present (a path query against a
+	// budget-stripped source must go through the rebuilding path).
 	bySource := make(map[int][]int)
+	needPaths := make(map[int]bool)
 	var order []int
 	for i, q := range queries {
 		if !o.isSource[q.Source] {
@@ -418,6 +466,9 @@ func (o *Oracle) QueryBatchContext(ctx context.Context, queries []Query) ([]Answ
 			order = append(order, q.Source)
 		}
 		bySource[q.Source] = append(bySource[q.Source], i)
+		if q.Paths {
+			needPaths[q.Source] = true
+		}
 	}
 
 	// Materialize the batch's sources in parallel. The fan-out is
@@ -427,7 +478,11 @@ func (o *Oracle) QueryBatchContext(ctx context.Context, queries []Query) ([]Answ
 	// across batches.
 	results := make([]*Result, len(order))
 	err := o.pool.RunCtx(ctx, len(order), func(i int) {
-		results[i], _ = o.result(ctx, order[i], o.seq) // source validated above
+		if needPaths[order[i]] {
+			results[i], _ = o.resultWithPaths(ctx, order[i], o.seq)
+		} else {
+			results[i], _ = o.result(ctx, order[i], o.seq) // source validated above
+		}
 	})
 	if err != nil {
 		o.cancellations.Add(1)
@@ -460,7 +515,7 @@ func (o *Oracle) QueryBatchContext(ctx context.Context, queries []Query) ([]Answ
 // case). The oracle must have been built with Options.TrackPaths, else
 // ErrPathsNotTracked. Safe for concurrent use.
 func (o *Oracle) QueryPath(s, t, u, v int) ([]int32, error) {
-	res, err := o.result(context.Background(), s, o.pool)
+	res, err := o.resultWithPaths(context.Background(), s, o.pool)
 	if err != nil {
 		return nil, err
 	}
@@ -537,6 +592,22 @@ func (o *Oracle) WarmContext(ctx context.Context) error {
 
 		sol, err := msrpcore.SolveSharedContext(ctx, o.sh)
 
+		// Compact the provenance plane before anything is published: the
+		// solution is still private to this goroutine (outside the
+		// oracle lock, so queries keep flowing during the re-walk).
+		// Compaction replaces the shared §8 plane — parent chains, seed
+		// table, center forest, whose explain reach made warm provenance
+		// one immortal unit — with self-contained per-source records
+		// that the LRU and the byte budget can free individually.
+		var rawProvBytes int64
+		if err == nil && sol.Prov != nil {
+			rawProvBytes = sol.Stats.ProvenanceBytes
+			// On error the full plane stays installed and functional;
+			// the fallback below pins it exactly as pre-compaction
+			// oracles did.
+			_ = sol.CompactProvenance()
+		}
+
 		o.mu.Lock()
 		if err == nil {
 			solveStats := sol.Stats
@@ -550,28 +621,30 @@ func (o *Oracle) WarmContext(ctx context.Context) error {
 				Assembly:       solveStats.StageAssembly,
 			}
 			o.warmPeakSeedBytes = solveStats.PeakSeedPathBytes
-			if sol.Prov != nil {
-				// The warm plane is one immortal unit: the shared §8
-				// artifacts (parent chains, seed table, center forest)
-				// plus every source's snapshot — the explain machinery
-				// reaches all of them (seedSuffix scans every source),
-				// so nothing in it is freed by an LRU eviction. Pin it
-				// on the oracle, count it once, and give the warm-built
-				// entries zero per-entry weight below.
+			switch {
+			case sol.Compact != nil:
+				o.provRawBytes = rawProvBytes
+				o.provCompactedBytes = solveStats.ProvenanceBytes
+			case sol.Prov != nil:
+				// Compaction failed: pin the raw plane for the oracle's
+				// lifetime and count it once (zero per-entry weight
+				// below — evicting an entry frees nothing of it).
+				// ProvenanceCompactedBytes staying 0 flags this mode.
 				o.warmProv = sol
-				planeBytes := sol.Prov.Bytes()
-				for _, ps := range sol.PerSource {
-					planeBytes += ps.ProvenanceBytes()
-				}
-				o.provBytes += planeBytes
+				o.provBytes += rawProvBytes
+				o.provRawBytes = rawProvBytes
 			}
 			for i, s := range o.sources {
 				if _, ok := o.cache[s]; !ok {
 					res := wrapResult(o.g.g, sol.Results[i])
-					if o.opts.TrackPaths {
+					var pb int64
+					if sol.PerSource[i].TrackPaths {
 						res.ps = sol.PerSource[i]
+						if sol.Compact != nil {
+							pb = sol.PerSource[i].ProvenanceBytes() + sol.Compact[i].Bytes()
+						}
 					}
-					o.insertLocked(s, res, 0)
+					o.insertLocked(s, res, pb)
 				}
 			}
 		}
@@ -658,6 +731,103 @@ func (o *Oracle) result(ctx context.Context, s int, pool *engine.Pool) (*Result,
 	return c.res, nil
 }
 
+// resultWithPaths is result for path queries: it returns a Result
+// whose provenance is present, rebuilding it when the byte budget had
+// stripped it. A cache hit whose entry still carries provenance is
+// served directly (and touched in the provenance tier — the tier's
+// recency is path-query recency). A stripped entry keeps serving
+// lengths through result(); here it triggers a tracked rebuild through
+// the same single-flight path a cold miss uses, and the rebuilt state
+// replaces the stripped entry's Result wholesale, so an entry's lengths
+// and paths always come from one build. On an untracked oracle this is
+// just result() — the ErrPathsNotTracked surface is unchanged.
+//
+// Rebuilds use the lazy single-source pipeline even when the stripped
+// entry came from a Warm; the two pipelines agree except on
+// ≤ 1/n-probability sampling misses (the documented eviction-then-
+// rebuild fine print, which budget strips share).
+func (o *Oracle) resultWithPaths(ctx context.Context, s int, pool *engine.Pool) (*Result, error) {
+	if !o.opts.TrackPaths {
+		return o.result(ctx, s, pool)
+	}
+	if !o.isSource[s] {
+		return nil, notSourceError(s)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		o.mu.Lock()
+		if e, ok := o.cache[s]; ok && e.res.ps != nil {
+			o.touchLocked(e)
+			o.provTouchLocked(e)
+			res := e.res
+			o.mu.Unlock()
+			o.hits.Add(1)
+			return res, nil
+		}
+		_, rebuilding := o.cache[s] // present but stripped
+		if c, ok := o.inflight[s]; ok {
+			o.mu.Unlock()
+			o.misses.Add(1)
+			if done := ctx.Done(); done != nil {
+				select {
+				case <-c.done:
+				case <-done:
+					return nil, ctx.Err()
+				}
+			} else {
+				<-c.done
+			}
+			if c.res != nil && c.res.ps != nil {
+				return c.res, nil
+			}
+			// The joined flight resolved to a stripped result (a race
+			// with the budget); retry as leader.
+			continue
+		}
+		c := &oracleCall{done: make(chan struct{})}
+		o.inflight[s] = c
+		o.mu.Unlock()
+		o.misses.Add(1)
+
+		built := o.build(int32(s), pool)
+
+		o.mu.Lock()
+		if e, ok := o.cache[s]; ok {
+			if e.res.ps != nil {
+				// A concurrent Warm (or rebuild) landed with provenance;
+				// serve it and drop our build.
+				o.touchLocked(e)
+				o.provTouchLocked(e)
+				c.res = e.res
+			} else {
+				// Replace the stripped entry's Result with the rebuilt
+				// one and re-admit its bytes to the tier and the budget.
+				e.res = built
+				e.provBytes = built.ProvenanceBytes()
+				o.provBytes += e.provBytes
+				if e.provBytes > 0 {
+					o.provLinkLocked(e)
+				}
+				o.touchLocked(e)
+				o.enforceProvBudgetLocked()
+				c.res = built
+			}
+		} else {
+			c.res = built
+			o.insertLocked(s, built, built.ProvenanceBytes())
+		}
+		if rebuilding {
+			o.provenanceRebuilds++
+		}
+		delete(o.inflight, s)
+		o.mu.Unlock()
+		close(c.done)
+		return c.res, nil
+	}
+}
+
 // build materializes one source against the shared preprocessing: the
 // §7.1 small-near graph, exact landmark replacement lengths via the
 // classical algorithm (sharded over pool), and the per-target combine.
@@ -685,9 +855,12 @@ func (o *Oracle) build(s int32, pool *engine.Pool) *Result {
 
 // insertLocked adds s at the LRU head and evicts beyond the bound.
 // provBytes is the provenance footprint an eviction of this entry
-// actually frees: the per-result bytes for an individually-freeable
-// lazy build, 0 for a warm-built entry (its state belongs to the
-// immortal warm plane, accounted once at warm time). Callers hold o.mu.
+// actually frees: the per-result bytes for a lazy build or a compacted
+// warm entry, 0 for a fallback warm entry (its state belongs to the
+// pinned raw plane, accounted once at warm time). Entries with a
+// nonzero footprint also join the provenance tier, and the byte budget
+// is enforced on the way out — so the gauge never exceeds
+// MaxProvenanceBytes, even transiently. Callers hold o.mu.
 func (o *Oracle) insertLocked(s int, res *Result, provBytes int64) {
 	e := &lruEntry{s: s, res: res, provBytes: provBytes}
 	o.provBytes += e.provBytes
@@ -700,15 +873,98 @@ func (o *Oracle) insertLocked(s int, res *Result, provBytes int64) {
 	if o.lruTail == nil {
 		o.lruTail = e
 	}
+	if e.provBytes > 0 {
+		o.provLinkLocked(e)
+	}
 	if max := o.opts.MaxCachedSources; max > 0 {
 		for len(o.cache) > max {
 			victim := o.lruTail
 			o.removeLocked(victim)
+			o.provUnlinkLocked(victim)
 			delete(o.cache, victim.s)
 			o.provBytes -= victim.provBytes
 			o.evictions.Add(1)
 		}
 	}
+	o.enforceProvBudgetLocked()
+}
+
+// stripLocked drops e's provenance but keeps its cached lengths: the
+// entry's Result is replaced by a ps-free copy — never mutated in
+// place, because concurrent query callers may hold the original, whose
+// path expansion must keep working — and its bytes leave the gauge.
+// Callers hold o.mu.
+func (o *Oracle) stripLocked(e *lruEntry) {
+	o.provUnlinkLocked(e)
+	stripped := *e.res
+	stripped.ps = nil
+	e.res = &stripped
+	o.provBytes -= e.provBytes
+	e.provBytes = 0
+	o.provenanceEvictions++
+}
+
+// enforceProvBudgetLocked strips least-recently-path-queried entries
+// until the gauge fits MaxProvenanceBytes (0 = unlimited). A single
+// over-budget entry is stripped too — the budget is a hard bound, not
+// advisory; the caller that triggered the insert still holds the
+// unstripped Result and serves its paths. Only per-entry bytes are
+// strippable: on the compaction-fallback path the pinned raw plane can
+// keep the gauge above budget with nothing left to strip. Callers hold
+// o.mu.
+func (o *Oracle) enforceProvBudgetLocked() {
+	max := o.opts.MaxProvenanceBytes
+	if max <= 0 {
+		return
+	}
+	for o.provBytes > max && o.provTail != nil {
+		o.stripLocked(o.provTail)
+	}
+}
+
+// provLinkLocked adds e at the provenance tier's head. Callers hold
+// o.mu; e must not already be linked.
+func (o *Oracle) provLinkLocked(e *lruEntry) {
+	e.inProv = true
+	e.provPrev = nil
+	e.provNext = o.provHead
+	if o.provHead != nil {
+		o.provHead.provPrev = e
+	}
+	o.provHead = e
+	if o.provTail == nil {
+		o.provTail = e
+	}
+}
+
+// provUnlinkLocked removes e from the provenance tier (no-op when not a
+// member). Callers hold o.mu.
+func (o *Oracle) provUnlinkLocked(e *lruEntry) {
+	if !e.inProv {
+		return
+	}
+	if e.provPrev != nil {
+		e.provPrev.provNext = e.provNext
+	} else {
+		o.provHead = e.provNext
+	}
+	if e.provNext != nil {
+		e.provNext.provPrev = e.provPrev
+	} else {
+		o.provTail = e.provPrev
+	}
+	e.provPrev, e.provNext = nil, nil
+	e.inProv = false
+}
+
+// provTouchLocked moves e to the provenance tier's head (path-query
+// recency). Callers hold o.mu.
+func (o *Oracle) provTouchLocked(e *lruEntry) {
+	if !e.inProv || o.provHead == e {
+		return
+	}
+	o.provUnlinkLocked(e)
+	o.provLinkLocked(e)
 }
 
 // touchLocked moves e to the LRU head. Callers hold o.mu.
