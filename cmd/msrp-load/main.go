@@ -10,8 +10,9 @@
 //   - router (plan.router set): spawn a fleet of msrp-serve replicas
 //     plus an in-process replica-sharded router (internal/router), run
 //     the waves through the router, and wire the plan's chaos stages
-//     (kill/term/stall/restart a replica mid-wave) to the fleet
-//     manager. The E17 failover experiment runs this way.
+//     (kill/term/stall/restart a replica, or addReplica/drainReplica
+//     membership churn, mid-wave) to the fleet. The E17 failover and
+//     E19 membership-churn experiments run this way.
 //   - external (-target): drive an already-running endpoint. Drain
 //     waves then need -drain-pid so the harness can deliver SIGTERM
 //     (which also enables peak-RSS sampling from /proc).
@@ -98,7 +99,7 @@ func run() error {
 		defer fleet.cleanup()
 		tgt = &load.Target{
 			BaseURL: fleet.baseURL,
-			ChaosFn: fleet.mgr.Apply,
+			ChaosFn: fleet.chaos,
 			DrainFn: fleet.drain,
 		}
 	default:
@@ -182,17 +183,30 @@ func run() error {
 
 // judgeChaos turns a chaos run that didn't actually exercise the
 // failure machinery into a failure: an injection error is the harness
-// breaking, and a disruptive fault (kill/term/restart) that produced
-// zero failovers means the wave finished without the router ever
-// re-routing an orphaned item — the scenario proved nothing.
+// breaking, a disruptive fault (kill/term/restart) that produced zero
+// failovers means the wave finished without the router ever re-routing
+// an orphaned item, and a membership wave that didn't move the ring —
+// or moved it without warm-before-serve — means the churn scenario
+// proved nothing.
 func judgeChaos(res *load.Result) error {
 	var disruptive []string
 	var failovers, handbacks int64
 	sawRestartRecovery := false
+	var lastEpoch uint64
 	for _, w := range res.Waves {
 		if w.Router != nil {
 			failovers += w.Router.Failovers
 			handbacks += w.Router.Handbacks
+			// The ring epoch only ever advances; a regression means the
+			// router published a stale ring.
+			if w.Router.Epoch < lastEpoch {
+				return fmt.Errorf("wave %q: ring epoch went backwards (%d after %d)", w.Name, w.Router.Epoch, lastEpoch)
+			}
+			lastEpoch = w.Router.Epoch
+			if w.Router.WarmBeforeServeViolations > 0 {
+				return fmt.Errorf("wave %q: %d replica(s) served items without a warmed slice (warm-before-serve violated)",
+					w.Name, w.Router.WarmBeforeServeViolations)
+			}
 		}
 		c := w.Chaos
 		if c == nil {
@@ -204,6 +218,14 @@ func judgeChaos(res *load.Result) error {
 		switch c.Action {
 		case load.ChaosKill, load.ChaosTerm, load.ChaosRestart:
 			disruptive = append(disruptive, w.Name)
+		case load.ChaosAddReplica:
+			if w.Router == nil || w.Router.Joins == 0 {
+				return fmt.Errorf("wave %q ran addReplica but the router recorded zero joins", w.Name)
+			}
+		case load.ChaosDrainReplica:
+			if w.Router == nil || w.Router.Drains == 0 {
+				return fmt.Errorf("wave %q ran drainReplica but the router recorded zero drains", w.Name)
+			}
 		}
 		if c.Action == load.ChaosRestart && c.Recovered {
 			sawRestartRecovery = true
@@ -246,6 +268,11 @@ func summarize(res *load.Result) {
 			fmt.Printf("wave %-12s router: failovers=%d failoverWarms=%d retries=%d routeErrors=%d handbacks=%d replicasUp=%d\n",
 				w.Name, rd.Failovers, rd.FailoverWarms, rd.Retries,
 				rd.RouteErrors, rd.Handbacks, rd.ReplicasUp)
+			if rd.Joins+rd.Drains+rd.Removes > 0 {
+				fmt.Printf("wave %-12s membership: epoch=%d joins=%d drains=%d removes=%d warms=%d wbsViolations=%d\n",
+					w.Name, rd.Epoch, rd.Joins, rd.Drains, rd.Removes,
+					rd.MembershipWarms, rd.WarmBeforeServeViolations)
+			}
 		}
 		if w.PathsValidated+w.PathInvalid+w.PathBudgetErrors > 0 {
 			fmt.Printf("wave %-12s paths: validated=%d invalid=%d budgetErrors=%d\n",
@@ -530,6 +557,40 @@ func (f *routerFleet) waitHealthy(timeout time.Duration) error {
 		time.Sleep(50 * time.Millisecond)
 	}
 	return fmt.Errorf("router never became healthy on %s", f.baseURL)
+}
+
+// chaos dispatches a plan chaos op. The membership actions drive both
+// halves of the fleet — the process side (spawn/terminate) through the
+// manager and the routing side (warm-before-serve join, drain hand-off)
+// through the router; everything else is a process-level fault via the
+// manager alone.
+func (f *routerFleet) chaos(op string, replica int) error {
+	switch op {
+	case load.ChaosAddReplica:
+		i, url, err := f.mgr.Add()
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		if _, _, err := f.rt.Join(ctx, url); err != nil {
+			_ = f.mgr.Kill(i)
+			return fmt.Errorf("join replica %d: %w", i, err)
+		}
+		return nil
+	case load.ChaosDrainReplica:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		if _, err := f.rt.Drain(ctx, replica); err != nil {
+			return err
+		}
+		if err := f.mgr.Term(replica); err != nil {
+			return err
+		}
+		return f.rt.Remove(replica)
+	default:
+		return f.mgr.Apply(op, replica)
+	}
 }
 
 // drain flips the router into lameduck (healthz 503, requests still

@@ -18,7 +18,11 @@
 //
 // With -chaos, POST /v1/chaos {"op":"kill|term|stall|resume|restart",
 // "replica":N} injects faults into the spawned fleet — the harness the
-// E17 failover experiment drives.
+// E17 failover experiment drives. Two membership ops ride the same
+// endpoint for spawned fleets: {"op":"add"} spawns a fresh replica and
+// joins it warm-before-serve, and {"op":"drain","replica":N} warms the
+// departing slice onto its successors, flips the epoch, terminates the
+// process, and removes the slot — the E19 membership-churn harness.
 package main
 
 import (
@@ -143,7 +147,7 @@ func run() error {
 	mux := http.NewServeMux()
 	mux.Handle("/", rt)
 	if *chaos {
-		mux.HandleFunc("POST /v1/chaos", chaosHandler(mgr))
+		mux.HandleFunc("POST /v1/chaos", chaosHandler(mgr, rt))
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -185,9 +189,13 @@ func run() error {
 	}
 }
 
-// chaosHandler exposes the fleet manager's fault injection:
-// POST /v1/chaos {"op":"kill|term|stall|resume|restart","replica":N}.
-func chaosHandler(mgr *router.Manager) http.HandlerFunc {
+// chaosHandler exposes the fleet manager's fault injection plus the
+// membership ops over the spawned fleet: POST /v1/chaos
+// {"op":"kill|term|stall|resume|restart|add|drain","replica":N}.
+// "add" ignores replica (the new slot id is allocated and returned);
+// "drain" warms successors before the epoch flips, then terminates and
+// removes the replica.
+func chaosHandler(mgr *router.Manager, rt *router.Router) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Op      string `json:"op"`
@@ -197,6 +205,45 @@ func chaosHandler(mgr *router.Manager) http.HandlerFunc {
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			writeErr(w, http.StatusBadRequest, "bad chaos body: "+err.Error())
+			return
+		}
+		switch req.Op {
+		case "add":
+			i, url, err := mgr.Add()
+			if err != nil {
+				writeErr(w, http.StatusBadGateway, "add: "+err.Error())
+				return
+			}
+			slot, warmed, err := rt.Join(r.Context(), url)
+			if err != nil {
+				// The process is up but never joined the ring; tear it
+				// back down so it does not leak.
+				_ = mgr.Kill(i)
+				writeErr(w, http.StatusBadGateway, "join: "+err.Error())
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{"ok": true, "op": req.Op, "replica": slot, "warmed": warmed, "epoch": rt.Ring().Epoch()})
+			return
+		case "drain":
+			moved, err := rt.Drain(r.Context(), req.Replica)
+			if err != nil {
+				writeErr(w, http.StatusBadGateway, "drain: "+err.Error())
+				return
+			}
+			// Epoch already flipped — the replica takes no new traffic.
+			// Let it lame-duck its in-flight sub-batches, then drop the
+			// slot from the health table.
+			if err := mgr.Term(req.Replica); err != nil {
+				writeErr(w, http.StatusBadGateway, "term: "+err.Error())
+				return
+			}
+			if err := rt.Remove(req.Replica); err != nil {
+				writeErr(w, http.StatusBadGateway, "remove: "+err.Error())
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{"ok": true, "op": req.Op, "replica": req.Replica, "moved": moved, "epoch": rt.Ring().Epoch()})
 			return
 		}
 		if err := mgr.Apply(req.Op, req.Replica); err != nil {

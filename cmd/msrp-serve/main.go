@@ -57,6 +57,7 @@ func run() error {
 		retry    = flag.Duration("retry-after", 0, "backoff advertised on 429 responses (0 = derive from measured build latencies)")
 		track    = flag.Bool("track-paths", false, "record path provenance so \"paths\": true queries return concrete replacement paths")
 		provCap  = flag.Int64("max-provenance-bytes", 0, "byte budget for retained path provenance (0 = unlimited); over-budget sources keep serving lengths and rebuild provenance on demand")
+		rebuilds = flag.Int("max-provenance-rebuilds", 0, "concurrent on-demand provenance rebuild budget (0 = derive from -parallelism, <0 = unlimited); saturated rebuilds answer 429")
 		pathCap  = flag.Int("max-path-vertices", 0, "per-response budget of path vertices (0 = 131072, <0 = unlimited)")
 		shutdown = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 		lameduck = flag.Duration("drain-lameduck", 0, "on SIGINT/SIGTERM, keep serving (with /healthz reporting 503) this long before closing the listener, so load balancers stop routing first")
@@ -91,6 +92,7 @@ func run() error {
 	opts.MaxCachedSources = *maxCache
 	opts.TrackPaths = *track
 	opts.MaxProvenanceBytes = *provCap
+	opts.MaxProvenanceRebuilds = *rebuilds
 
 	oracle, err := msrp.NewOracle(g, srcs, opts)
 	if err != nil {

@@ -140,17 +140,27 @@ const (
 	// after Recover: crash, failover, rejoin, hand-back — the full E17
 	// cycle.
 	ChaosRestart = "restart"
+	// ChaosAddReplica spawns a brand-new replica mid-wave and joins it to
+	// the ring warm-before-serve: the membership grow path (the replica
+	// index field is ignored — the fleet allocates the next slot).
+	ChaosAddReplica = "addReplica"
+	// ChaosDrainReplica drains the replica out of the ring mid-wave
+	// (successors warm its slice first, then the epoch flips, then the
+	// process terminates and the slot is removed): the membership shrink
+	// path.
+	ChaosDrainReplica = "drainReplica"
 )
 
 var knownChaosActions = map[string]bool{
 	ChaosKill: true, ChaosTerm: true, ChaosStall: true, ChaosRestart: true,
+	ChaosAddReplica: true, ChaosDrainReplica: true,
 }
 
-// ChaosSpec injects one replica fault mid-wave. Requires the plan to
-// run a router fleet (Plan.Router) under a harness that controls the
-// replica processes.
+// ChaosSpec injects one replica fault or membership change mid-wave.
+// Requires the plan to run a router fleet (Plan.Router) under a
+// harness that controls the replica processes.
 type ChaosSpec struct {
-	// Action is one of kill|term|stall|restart.
+	// Action is one of kill|term|stall|restart|addReplica|drainReplica.
 	Action string `json:"action"`
 	// Replica is the fleet index to hit.
 	Replica int `json:"replica"`
@@ -292,6 +302,14 @@ func (p *Plan) Validate() error {
 	if len(p.Waves) == 0 {
 		return fmt.Errorf("load: plan needs at least one wave")
 	}
+	// Track the fleet across waves: membership chaos changes it, and a
+	// later wave's replica index must be valid for the fleet as it will
+	// exist by then. Slot ids are append-only and never reused.
+	slots, members := 0, 0
+	if p.Router != nil {
+		slots, members = p.Router.Replicas, p.Router.Replicas
+	}
+	drained := make(map[int]bool)
 	seen := make(map[string]bool, len(p.Waves))
 	for i := range p.Waves {
 		w := &p.Waves[i]
@@ -329,10 +347,30 @@ func (p *Plan) Validate() error {
 				return fmt.Errorf("load: wave %q: chaos needs a router fleet (set plan.router)", w.Name)
 			}
 			if !knownChaosActions[c.Action] {
-				return fmt.Errorf("load: wave %q: unknown chaos action %q (want kill|term|stall|restart)", w.Name, c.Action)
+				return fmt.Errorf("load: wave %q: unknown chaos action %q (want kill|term|stall|restart|addReplica|drainReplica)", w.Name, c.Action)
 			}
-			if c.Replica < 0 || c.Replica >= p.Router.Replicas {
-				return fmt.Errorf("load: wave %q: chaos replica %d out of range [0,%d)", w.Name, c.Replica, p.Router.Replicas)
+			switch c.Action {
+			case ChaosAddReplica:
+				if c.Replica != 0 {
+					return fmt.Errorf("load: wave %q: addReplica allocates the next slot itself; leave replica unset", w.Name)
+				}
+			case ChaosDrainReplica:
+				if c.Replica < 0 || c.Replica >= slots {
+					return fmt.Errorf("load: wave %q: chaos replica %d out of range [0,%d) (fleet slots at this wave)", w.Name, c.Replica, slots)
+				}
+				if drained[c.Replica] {
+					return fmt.Errorf("load: wave %q: replica %d was already drained by an earlier wave", w.Name, c.Replica)
+				}
+				if members <= 2 {
+					return fmt.Errorf("load: wave %q: drainReplica would shrink the fleet below 2 members", w.Name)
+				}
+			default:
+				if c.Replica < 0 || c.Replica >= slots {
+					return fmt.Errorf("load: wave %q: chaos replica %d out of range [0,%d)", w.Name, c.Replica, slots)
+				}
+				if drained[c.Replica] {
+					return fmt.Errorf("load: wave %q: replica %d was drained by an earlier wave; its slot is gone", w.Name, c.Replica)
+				}
 			}
 			if c.At < 0 || c.At >= 1 {
 				return fmt.Errorf("load: wave %q: chaos at = %g must be a fraction in [0,1)", w.Name, c.At)
@@ -352,10 +390,21 @@ func (p *Plan) Validate() error {
 					return fmt.Errorf("load: wave %q: chaos recover %v does not fit between the trigger (+%v) and the wave end (%v)",
 						w.Name, time.Duration(c.Recover), trigger, time.Duration(w.Duration))
 				}
+			case ChaosAddReplica, ChaosDrainReplica:
+				if time.Duration(c.Recover) != 0 {
+					return fmt.Errorf("load: wave %q: membership changes are permanent; recover is only meaningful for stall|restart", w.Name)
+				}
 			default:
 				if time.Duration(c.Recover) != 0 {
 					return fmt.Errorf("load: wave %q: chaos action %q leaves the replica down; recover is only meaningful for stall|restart", w.Name, c.Action)
 				}
+			}
+			switch c.Action {
+			case ChaosAddReplica:
+				slots, members = slots+1, members+1
+			case ChaosDrainReplica:
+				drained[c.Replica] = true
+				members--
 			}
 		}
 	}

@@ -139,8 +139,8 @@ type ChaosResult struct {
 }
 
 // RouterDelta is the change in the router's own /v1/stats counters
-// across one wave, plus the replicas-up gauge at wave end — the routing
-// tier's account of the failover story.
+// across one wave, plus the membership gauges at wave end — the routing
+// tier's account of the failover and membership-churn story.
 type RouterDelta struct {
 	Batches       int64 `json:"batches"`
 	Items         int64 `json:"items"`
@@ -152,6 +152,20 @@ type RouterDelta struct {
 	Rejections    int64 `json:"rejections"`
 	Handbacks     int64 `json:"handbacks"`
 	ReplicasUp    int   `json:"replicasUp"`
+	// Membership churn across the wave: joins/drains/removes/warm counts
+	// are deltas, Epoch is the ring epoch at wave end (monotone across
+	// waves), StaleReplicas the members whose stats scrape failed at wave
+	// end.
+	Epoch           uint64 `json:"epoch,omitempty"`
+	Joins           int64  `json:"joins,omitempty"`
+	Drains          int64  `json:"drains,omitempty"`
+	Removes         int64  `json:"removes,omitempty"`
+	MembershipWarms int64  `json:"membershipWarms,omitempty"`
+	StaleReplicas   int    `json:"staleReplicas,omitempty"`
+	// WarmBeforeServeViolations counts replicas that served items without
+	// their slice ever having been warmed — the invariant the membership
+	// hand-off exists to keep; must stay zero.
+	WarmBeforeServeViolations int `json:"warmBeforeServeViolations"`
 }
 
 // WaveResult is the recorded outcome of one wave.
@@ -337,17 +351,30 @@ func Run(ctx context.Context, plan *Plan, tgt *Target, opt Options) (*Result, er
 					ProvenanceRebuilds:  after.ProvenanceRebuilds - before.ProvenanceRebuilds,
 				}
 				if after.Router != nil && before.Router != nil {
+					violations := 0
+					for _, rep := range after.Router.Replicas {
+						if rep.RoutedItems > 0 && !rep.SliceWarmed {
+							violations++
+						}
+					}
 					wr.Router = &RouterDelta{
-						Batches:       after.Router.Batches - before.Router.Batches,
-						Items:         after.Router.Items - before.Router.Items,
-						SubBatches:    after.Router.SubBatches - before.Router.SubBatches,
-						Retries:       after.Router.Retries - before.Router.Retries,
-						Failovers:     after.Router.Failovers - before.Router.Failovers,
-						FailoverWarms: after.Router.FailoverWarms - before.Router.FailoverWarms,
-						RouteErrors:   after.Router.RouteErrors - before.Router.RouteErrors,
-						Rejections:    after.Router.Rejections - before.Router.Rejections,
-						Handbacks:     after.Router.Handbacks - before.Router.Handbacks,
-						ReplicasUp:    after.Router.ReplicasUp,
+						Batches:                   after.Router.Batches - before.Router.Batches,
+						Items:                     after.Router.Items - before.Router.Items,
+						SubBatches:                after.Router.SubBatches - before.Router.SubBatches,
+						Retries:                   after.Router.Retries - before.Router.Retries,
+						Failovers:                 after.Router.Failovers - before.Router.Failovers,
+						FailoverWarms:             after.Router.FailoverWarms - before.Router.FailoverWarms,
+						RouteErrors:               after.Router.RouteErrors - before.Router.RouteErrors,
+						Rejections:                after.Router.Rejections - before.Router.Rejections,
+						Handbacks:                 after.Router.Handbacks - before.Router.Handbacks,
+						ReplicasUp:                after.Router.ReplicasUp,
+						Epoch:                     after.Router.Epoch,
+						Joins:                     after.Router.Joins - before.Router.Joins,
+						Drains:                    after.Router.Drains - before.Router.Drains,
+						Removes:                   after.Router.Removes - before.Router.Removes,
+						MembershipWarms:           after.Router.MembershipWarms - before.Router.MembershipWarms,
+						StaleReplicas:             after.Router.StaleReplicas,
+						WarmBeforeServeViolations: violations,
 					}
 				}
 			}
@@ -450,16 +477,28 @@ type scrapedStats struct {
 // JSON field name — the load harness deliberately doesn't import the
 // router package, the wire format is the contract).
 type routerScrape struct {
-	Batches       int64 `json:"batches"`
-	Items         int64 `json:"items"`
-	SubBatches    int64 `json:"subBatches"`
-	Retries       int64 `json:"retries"`
-	Failovers     int64 `json:"failovers"`
-	FailoverWarms int64 `json:"failoverWarms"`
-	RouteErrors   int64 `json:"routeErrors"`
-	Rejections    int64 `json:"rejections"`
-	Handbacks     int64 `json:"handbacks"`
-	ReplicasUp    int   `json:"replicasUp"`
+	Batches         int64  `json:"batches"`
+	Items           int64  `json:"items"`
+	SubBatches      int64  `json:"subBatches"`
+	Retries         int64  `json:"retries"`
+	Failovers       int64  `json:"failovers"`
+	FailoverWarms   int64  `json:"failoverWarms"`
+	RouteErrors     int64  `json:"routeErrors"`
+	Rejections      int64  `json:"rejections"`
+	Handbacks       int64  `json:"handbacks"`
+	ReplicasUp      int    `json:"replicasUp"`
+	Epoch           uint64 `json:"epoch"`
+	Joins           int64  `json:"joins"`
+	Drains          int64  `json:"drains"`
+	Removes         int64  `json:"removes"`
+	MembershipWarms int64  `json:"membershipWarms"`
+	StaleReplicas   int    `json:"staleReplicas"`
+	Replicas        []struct {
+		State       string `json:"state"`
+		Member      bool   `json:"member"`
+		SliceWarmed bool   `json:"sliceWarmed"`
+		RoutedItems int64  `json:"routedItems"`
+	} `json:"replicas"`
 }
 
 func (r *runner) scrapeStats(ctx context.Context) (*scrapedStats, bool) {

@@ -42,6 +42,10 @@ func (s State) String() string {
 }
 
 // replica is one fleet member's health record plus routing counters.
+// Slots are append-only for the router's lifetime: a removed replica's
+// record stays in the table (its probe loop exits, its state freezes)
+// so in-flight batches pinned to an older ring epoch can still read it,
+// and its slot id is never reused.
 type replica struct {
 	name  string // base URL
 	state atomic.Int32
@@ -49,6 +53,15 @@ type replica struct {
 	mu    sync.Mutex
 	fails int // consecutive probe/data-path failures
 	oks   int // consecutive probe successes
+
+	// Membership lifecycle. joinEpoch is the ring epoch at which this
+	// slot first served; sliceWarmed flips once its hash slice has been
+	// pre-built on it (boot replicas warm via /v1/warm, joiners before
+	// their epoch publishes); removed marks a slot that has left the
+	// fleet for good.
+	joinEpoch   atomic.Uint64
+	sliceWarmed atomic.Bool
+	removed     atomic.Bool
 
 	// Counters for the aggregated stats view.
 	routedItems     atomic.Int64 // items answered by this replica
@@ -61,9 +74,14 @@ func (r *replica) State() State { return State(r.state.Load()) }
 // health drives the per-replica state machines: an active /healthz
 // probe loop per replica, plus passive failure reports from the data
 // path (a scatter that hits a dead TCP socket should not wait for the
-// next probe tick to stop routing there).
+// next probe tick to stop routing there). It owns the replica table —
+// membership changes add slots through it so probe loops start exactly
+// once per slot.
 type health struct {
-	replicas           []*replica
+	tabMu    sync.Mutex
+	replicas []*replica
+	started  bool
+
 	client             *http.Client
 	interval           time.Duration
 	timeout            time.Duration
@@ -81,9 +99,48 @@ type health struct {
 	stopped sync.WaitGroup
 }
 
+// rep returns the record for a slot id.
+func (h *health) rep(i int) *replica {
+	h.tabMu.Lock()
+	defer h.tabMu.Unlock()
+	return h.replicas[i]
+}
+
+// snapshot returns the replica table as of now. The table is
+// append-only, so the returned slice stays valid (rows for slots added
+// later are simply absent).
+func (h *health) snapshot() []*replica {
+	h.tabMu.Lock()
+	defer h.tabMu.Unlock()
+	return append([]*replica(nil), h.replicas...)
+}
+
+// count returns the number of slots ever allocated.
+func (h *health) count() int {
+	h.tabMu.Lock()
+	defer h.tabMu.Unlock()
+	return len(h.replicas)
+}
+
+// add appends a new slot for r and returns its id. If the probe loops
+// are already running, the new slot gets one immediately (after a
+// synchronous first probe, so the caller sees a real state).
+func (h *health) add(r *replica) int {
+	h.tabMu.Lock()
+	slot := len(h.replicas)
+	h.replicas = append(h.replicas, r)
+	started := h.started
+	h.tabMu.Unlock()
+	if started {
+		h.probe(slot)
+		h.watch(slot)
+	}
+	return slot
+}
+
 // markSuccess advances the state machine on a healthy probe.
 func (h *health) markSuccess(i int) {
-	r := h.replicas[i]
+	r := h.rep(i)
 	r.mu.Lock()
 	r.fails = 0
 	r.oks++
@@ -115,7 +172,7 @@ func (h *health) markSuccess(i int) {
 // outage, and flapping it to down would trigger a spurious hand-back
 // warm when it exits.
 func (h *health) markFailure(i int, probe bool) {
-	r := h.replicas[i]
+	r := h.rep(i)
 	if probe {
 		r.probeFailures.Add(1)
 	}
@@ -136,7 +193,7 @@ func (h *health) markFailure(i int, probe bool) {
 // markDraining moves an up replica to draining (no counters reset: a
 // draining replica that starts failing outright still becomes down).
 func (h *health) markDraining(i int) {
-	r := h.replicas[i]
+	r := h.rep(i)
 	if State(r.state.Swap(int32(StateDraining))) != StateDraining && h.logf != nil {
 		h.logf("replica %d (%s): -> draining", i, r.name)
 	}
@@ -145,9 +202,13 @@ func (h *health) markDraining(i int) {
 // probe runs one health check against replica i and feeds the outcome
 // into the state machine.
 func (h *health) probe(i int) {
+	r := h.rep(i)
+	if r.removed.Load() {
+		return
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), h.timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.replicas[i].name+"/healthz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.name+"/healthz", nil)
 	if err != nil {
 		h.markFailure(i, true)
 		return
@@ -169,31 +230,44 @@ func (h *health) probe(i int) {
 	}
 }
 
+// watch launches the probe loop for slot i. The loop exits when the
+// health checker closes or the slot is removed from the fleet.
+func (h *health) watch(i int) {
+	h.stopped.Add(1)
+	go func() {
+		defer h.stopped.Done()
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				if h.rep(i).removed.Load() {
+					return
+				}
+				h.probe(i)
+			}
+		}
+	}()
+}
+
 // start launches one probe loop per replica, beginning with a
 // synchronous round so the router's first routing decisions see real
 // states rather than the optimistic default.
 func (h *health) start() {
+	h.tabMu.Lock()
+	h.started = true
+	n := len(h.replicas)
+	h.tabMu.Unlock()
 	var first sync.WaitGroup
-	for i := range h.replicas {
+	for i := 0; i < n; i++ {
 		first.Add(1)
 		go func(i int) { h.probe(i); first.Done() }(i)
 	}
 	first.Wait()
-	for i := range h.replicas {
-		h.stopped.Add(1)
-		go func(i int) {
-			defer h.stopped.Done()
-			t := time.NewTicker(h.interval)
-			defer t.Stop()
-			for {
-				select {
-				case <-h.stop:
-					return
-				case <-t.C:
-					h.probe(i)
-				}
-			}
-		}(i)
+	for i := 0; i < n; i++ {
+		h.watch(i)
 	}
 }
 

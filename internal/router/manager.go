@@ -42,8 +42,11 @@ type managedProc struct {
 // Manager spawns and supervises a local replica fleet, and doubles as
 // the chaos harness: it can crash (SIGKILL), terminate (SIGTERM), stall
 // (SIGSTOP), resume (SIGCONT), and restart replicas mid-run. A restart
-// respawns on the same port, so the router's fixed replica URL set —
-// and therefore the ring — is untouched; only health state moves.
+// respawns on the same port, so the router's replica URL set — and
+// therefore the ring — is untouched; only health state moves. Add
+// spawns a brand-new replica on a fresh port for a membership join; the
+// manager's index space is append-only, in lockstep with the router's
+// slot ids.
 type Manager struct {
 	cfg    ManagerConfig
 	client *http.Client
@@ -96,9 +99,53 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 
 // URLs returns the fleet's base URLs (stable across restarts).
 func (m *Manager) URLs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]string, len(m.urls))
 	copy(out, m.urls)
 	return out
+}
+
+// url returns replica i's base URL.
+func (m *Manager) url(i int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.urls[i]
+}
+
+// count returns the number of replica slots ever allocated.
+func (m *Manager) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.procs)
+}
+
+// Add reserves a fresh port, spawns a new replica on it, and waits for
+// it to turn healthy — the process half of a membership join (the
+// routing half is Router.Join with the returned URL). Returns the new
+// replica's index, which stays in lockstep with the router's slot ids
+// as long as every join goes through both.
+func (m *Manager) Add() (int, string, error) {
+	port, err := freePort()
+	if err != nil {
+		return -1, "", err
+	}
+	url := fmt.Sprintf("http://127.0.0.1:%d", port)
+	m.mu.Lock()
+	i := len(m.procs)
+	m.ports = append(m.ports, port)
+	m.urls = append(m.urls, url)
+	m.procs = append(m.procs, nil)
+	m.mu.Unlock()
+	if err := m.spawn(i); err != nil {
+		return -1, "", err
+	}
+	if err := m.waitHealthy(i); err != nil {
+		_ = m.Kill(i)
+		return -1, "", err
+	}
+	m.logf("replica %d: added on %s", i, url)
+	return i, url, nil
 }
 
 // Pids returns the live replicas' pids (0 for a down replica).
@@ -121,9 +168,13 @@ func (m *Manager) logf(format string, args ...any) {
 }
 
 func (m *Manager) spawn(i int) error {
+	m.mu.Lock()
+	port := m.ports[i]
+	url := m.urls[i]
+	m.mu.Unlock()
 	args := append([]string{
 		"-graph", m.cfg.GraphPath,
-		"-addr", fmt.Sprintf("127.0.0.1:%d", m.ports[i]),
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
 	}, m.cfg.ExtraArgs...)
 	cmd := exec.Command(m.cfg.ServeBin, args...)
 	cmd.Stdout = os.Stderr
@@ -139,15 +190,16 @@ func (m *Manager) spawn(i int) error {
 	m.mu.Lock()
 	m.procs[i] = p
 	m.mu.Unlock()
-	m.logf("replica %d: spawned pid %d on %s", i, cmd.Process.Pid, m.urls[i])
+	m.logf("replica %d: spawned pid %d on %s", i, cmd.Process.Pid, url)
 	return nil
 }
 
 func (m *Manager) waitHealthy(i int) error {
+	base := m.url(i)
 	deadline := time.Now().Add(m.cfg.HealthyTimeout)
 	for time.Now().Before(deadline) {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, m.urls[i]+"/healthz", nil)
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
 		resp, err := m.client.Do(req)
 		cancel()
 		if err == nil {
@@ -158,7 +210,7 @@ func (m *Manager) waitHealthy(i int) error {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	return fmt.Errorf("router: replica %d (%s) not healthy within %s", i, m.urls[i], m.cfg.HealthyTimeout)
+	return fmt.Errorf("router: replica %d (%s) not healthy within %s", i, base, m.cfg.HealthyTimeout)
 }
 
 func (m *Manager) proc(i int) (*managedProc, error) {
@@ -287,7 +339,7 @@ func (m *Manager) Apply(op string, i int) error {
 // the graceful fleet shutdown.
 func (m *Manager) TermAll() {
 	var wg sync.WaitGroup
-	for i := range m.procs {
+	for i := 0; i < m.count(); i++ {
 		if _, err := m.proc(i); err != nil {
 			continue
 		}
@@ -304,7 +356,7 @@ func (m *Manager) TermAll() {
 // never sees a TERM, so unconditional KILL is the only reliable
 // teardown) and reaps everything.
 func (m *Manager) StopAll() {
-	for i := range m.procs {
+	for i := 0; i < m.count(); i++ {
 		p, err := m.proc(i)
 		if err != nil {
 			continue

@@ -1,0 +1,307 @@
+package router
+
+// Dynamic fleet membership: join, drain, and remove replicas at
+// runtime, each publishing a new ring epoch only after the hand-off
+// warm has completed. The serving invariant is warm-before-serve: a
+// source's owner under epoch E has always finished building that
+// source's plane before any batch pinned to E can route it there —
+// joiners warm their incoming slice before their epoch publishes,
+// drains warm the departing slice onto its successors before the epoch
+// flips, and in-flight batches keep routing on the epoch they pinned
+// at arrival.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// MemberInfo is one replica slot's membership row.
+type MemberInfo struct {
+	Replica     int    `json:"replica"`
+	URL         string `json:"url"`
+	State       string `json:"state"`
+	Member      bool   `json:"member"`
+	JoinEpoch   uint64 `json:"joinEpoch"`
+	SliceWarmed bool   `json:"sliceWarmed"`
+}
+
+// MembersResponse is the GET /v1/members body.
+type MembersResponse struct {
+	Epoch    uint64       `json:"epoch"`
+	Members  []int        `json:"members"`
+	Replicas []MemberInfo `json:"replicas"`
+}
+
+// MemberOpResponse is the POST /v1/members body.
+type MemberOpResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Replica int    `json:"replica"`
+	Warmed  int    `json:"warmed,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// memberRequest is the POST /v1/members request.
+type memberRequest struct {
+	Op      string `json:"op"`                // join | drain | remove
+	URL     string `json:"url,omitempty"`     // join: the replica's base URL
+	Replica *int   `json:"replica,omitempty"` // drain/remove: the slot id
+}
+
+// Join adds a replica to the fleet, warm-before-serve: the slice the
+// next ring would assign it is built on it via /v1/warm while the
+// current epoch keeps serving, and only on success does the new epoch
+// publish. Returns the new slot id and the warmed slice size.
+func (rt *Router) Join(ctx context.Context, url string) (int, int, error) {
+	url = strings.TrimRight(url, "/")
+	if url == "" {
+		return -1, 0, fmt.Errorf("router: join needs a replica URL")
+	}
+	rt.memberMu.Lock()
+	defer rt.memberMu.Unlock()
+	cur := rt.ring.Load()
+	for _, slot := range cur.Members() {
+		if rt.rep(slot).name == url {
+			return -1, 0, fmt.Errorf("router: %s is already member slot %d", url, slot)
+		}
+	}
+	// The joiner must answer /healthz before we spend a σ/N warm on it.
+	if err := rt.checkHealthz(ctx, url); err != nil {
+		return -1, 0, fmt.Errorf("router: joiner %s not healthy: %w", url, err)
+	}
+	// sourceSet needs a live member; resolve it before allocating the
+	// slot so a dead fleet fails the join cleanly.
+	sources, err := rt.sourceSet(ctx)
+	if err != nil {
+		return -1, 0, fmt.Errorf("router: join %s: %w", url, err)
+	}
+	// Allocate the slot. The replica is in the health table (probed,
+	// optimistically up) but not in any published ring, so no traffic
+	// routes to it yet.
+	r := &replica{name: url}
+	slot := rt.health.add(r)
+	next, err := NewMemberRing(cur.Epoch()+1, append(cur.Members(), slot), rt.cfg.VNodes)
+	if err != nil {
+		r.removed.Store(true)
+		return -1, 0, err
+	}
+	slice := next.Owned(sources, slot)
+	if len(slice) > 0 {
+		if err := rt.postWarm(ctx, url, slice); err != nil {
+			r.removed.Store(true)
+			return -1, 0, fmt.Errorf("router: join %s: warm-before-serve failed: %w", url, err)
+		}
+		rt.membershipWarms.Add(int64(len(slice)))
+	}
+	r.sliceWarmed.Store(true)
+	r.joinEpoch.Store(next.Epoch())
+	rt.ring.Store(next)
+	rt.joins.Add(1)
+	rt.logf("membership: epoch %d: replica %d (%s) joined, %d sources warmed before serving", next.Epoch(), slot, url, len(slice))
+	return slot, len(slice), nil
+}
+
+// Drain removes a replica from the ring gracefully: its successors
+// under the next ring warm the departing slice first, then the epoch
+// flips. The replica itself is untouched — batches pinned to older
+// epochs finish against it; call Remove (and then stop the process)
+// once they have. Returns how many sources moved to successors.
+func (rt *Router) Drain(ctx context.Context, slot int) (int, error) {
+	rt.memberMu.Lock()
+	defer rt.memberMu.Unlock()
+	cur := rt.ring.Load()
+	if !cur.Contains(slot) {
+		return 0, fmt.Errorf("router: replica %d is not a member of epoch %d", slot, cur.Epoch())
+	}
+	if cur.Replicas() == 1 {
+		return 0, fmt.Errorf("router: cannot drain the last member")
+	}
+	var kept []int
+	for _, m := range cur.Members() {
+		if m != slot {
+			kept = append(kept, m)
+		}
+	}
+	next, err := NewMemberRing(cur.Epoch()+1, kept, rt.cfg.VNodes)
+	if err != nil {
+		return 0, err
+	}
+	sources, err := rt.sourceSet(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("router: drain %d: %w", slot, err)
+	}
+	// Everything the departing slot owns today moves to its owner under
+	// the next ring; consistent hashing keeps the rest in place.
+	slices := make(map[int][]int)
+	moved := 0
+	for _, s := range sources {
+		if cur.Owner(s) != slot {
+			continue
+		}
+		succ := next.Owner(s)
+		slices[succ] = append(slices[succ], s)
+		moved++
+	}
+	type warmOut struct {
+		succ int
+		n    int
+		err  error
+	}
+	out := make(chan warmOut, len(slices))
+	launched := 0
+	for succ, slice := range slices {
+		rep := rt.rep(succ)
+		if rep.removed.Load() || rep.State() != StateUp {
+			// A down successor will lazily warm through failover (and
+			// hand-back re-warms it on rejoin); do not block the drain.
+			rt.logf("membership: drain %d: successor %d is %s, skipping its %d-source warm", slot, succ, rep.State(), len(slice))
+			continue
+		}
+		launched++
+		go func(succ int, slice []int) {
+			out <- warmOut{succ, len(slice), rt.postWarm(ctx, rep.name, slice)}
+		}(succ, slice)
+	}
+	for i := 0; i < launched; i++ {
+		o := <-out
+		if o.err != nil {
+			// An up successor that cannot warm fails the drain: flipping
+			// the epoch now would route its inherited slice cold.
+			return 0, fmt.Errorf("router: drain %d: successor %d warm failed: %w", slot, o.succ, o.err)
+		}
+		rt.membershipWarms.Add(int64(o.n))
+	}
+	rt.ring.Store(next)
+	rt.drains.Add(1)
+	rt.logf("membership: epoch %d: replica %d drained, %d sources handed to %d successors", next.Epoch(), slot, moved, len(slices))
+	return moved, nil
+}
+
+// Remove retires a replica slot for good: its probe loop exits and it
+// is never routed to again. If the slot is somehow still a ring member
+// (crash-remove without a prior Drain), the epoch flips without a
+// hand-off warm — successors lazily warm the orphaned sources through
+// the oracle's single-flight build, exactly as failover does.
+func (rt *Router) Remove(slot int) error {
+	rt.memberMu.Lock()
+	defer rt.memberMu.Unlock()
+	if slot < 0 || slot >= rt.health.count() {
+		return fmt.Errorf("router: no replica slot %d", slot)
+	}
+	cur := rt.ring.Load()
+	if cur.Contains(slot) {
+		if cur.Replicas() == 1 {
+			return fmt.Errorf("router: cannot remove the last member")
+		}
+		var kept []int
+		for _, m := range cur.Members() {
+			if m != slot {
+				kept = append(kept, m)
+			}
+		}
+		next, err := NewMemberRing(cur.Epoch()+1, kept, rt.cfg.VNodes)
+		if err != nil {
+			return err
+		}
+		rt.ring.Store(next)
+		rt.logf("membership: epoch %d: replica %d removed while still a member; successors warm lazily", next.Epoch(), slot)
+	}
+	rt.rep(slot).removed.Store(true)
+	rt.removes.Add(1)
+	return nil
+}
+
+// checkHealthz does one direct health check against a base URL (used
+// before spending a warm on a joiner that might not exist).
+func (rt *Router) checkHealthz(ctx context.Context, base string) error {
+	hctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(hctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (rt *Router) handleMembersGet(w http.ResponseWriter, r *http.Request) {
+	ring := rt.ring.Load()
+	reps := rt.health.snapshot()
+	resp := MembersResponse{
+		Epoch:    ring.Epoch(),
+		Members:  ring.Members(),
+		Replicas: make([]MemberInfo, len(reps)),
+	}
+	for i, rep := range reps {
+		st := rep.State().String()
+		if rep.removed.Load() {
+			st = "removed"
+		}
+		resp.Replicas[i] = MemberInfo{
+			Replica:     i,
+			URL:         rep.name,
+			State:       st,
+			Member:      ring.Contains(i),
+			JoinEpoch:   rep.joinEpoch.Load(),
+			SliceWarmed: rep.sliceWarmed.Load(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleMembersPost(w http.ResponseWriter, r *http.Request) {
+	var req memberRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, MemberOpResponse{Replica: -1, Error: "bad request body: " + err.Error()})
+		return
+	}
+	switch req.Op {
+	case "join":
+		if req.URL == "" {
+			writeJSON(w, http.StatusBadRequest, MemberOpResponse{Replica: -1, Error: `join needs "url"`})
+			return
+		}
+		slot, warmed, err := rt.Join(r.Context(), req.URL)
+		if err != nil {
+			writeJSON(w, http.StatusBadGateway, MemberOpResponse{Epoch: rt.ring.Load().Epoch(), Replica: slot, Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, MemberOpResponse{Epoch: rt.ring.Load().Epoch(), Replica: slot, Warmed: warmed})
+	case "drain":
+		if req.Replica == nil {
+			writeJSON(w, http.StatusBadRequest, MemberOpResponse{Replica: -1, Error: `drain needs "replica"`})
+			return
+		}
+		moved, err := rt.Drain(r.Context(), *req.Replica)
+		if err != nil {
+			writeJSON(w, http.StatusBadGateway, MemberOpResponse{Epoch: rt.ring.Load().Epoch(), Replica: *req.Replica, Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, MemberOpResponse{Epoch: rt.ring.Load().Epoch(), Replica: *req.Replica, Warmed: moved})
+	case "remove":
+		if req.Replica == nil {
+			writeJSON(w, http.StatusBadRequest, MemberOpResponse{Replica: -1, Error: `remove needs "replica"`})
+			return
+		}
+		if err := rt.Remove(*req.Replica); err != nil {
+			writeJSON(w, http.StatusBadGateway, MemberOpResponse{Epoch: rt.ring.Load().Epoch(), Replica: *req.Replica, Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, MemberOpResponse{Epoch: rt.ring.Load().Epoch(), Replica: *req.Replica})
+	default:
+		writeJSON(w, http.StatusBadRequest, MemberOpResponse{Replica: -1, Error: fmt.Sprintf("unknown op %q (want join, drain, or remove)", req.Op)})
+	}
+}

@@ -1,0 +1,504 @@
+package router
+
+// Tests of dynamic fleet membership: warm-before-serve joins, drain
+// hand-offs, epoch pinning for in-flight batches, and the health
+// machine's hysteresis under probe flapping.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"msrp/internal/server"
+)
+
+// postMembers drives POST /v1/members and decodes the response.
+func postMembers(t *testing.T, rt *Router, req map[string]any) (int, *MemberOpResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest(http.MethodPost, "/v1/members", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, r)
+	var resp MemberOpResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode members response (status %d): %v (body %s)", rec.Code, err, rec.Body)
+	}
+	return rec.Code, &resp
+}
+
+func getMembers(t *testing.T, rt *Router) *MembersResponse {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/members", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/members = %d", rec.Code)
+	}
+	var resp MembersResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return &resp
+}
+
+// replicaSources fetches one replica's materialized source ids directly.
+func replicaSources(t *testing.T, url string) map[int]bool {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/sources")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr server.SourcesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[int]bool, len(sr.Cached))
+	for _, s := range sr.Cached {
+		out[s] = true
+	}
+	return out
+}
+
+// TestMembershipJoinWarmBeforeServe boots a 2-member router over a
+// 3-replica fleet, joins the third at runtime, and checks the
+// warm-before-serve contract: by the time the new epoch is visible,
+// the joiner already holds every source the new ring assigns it, and
+// answers through the grown fleet stay bit-identical.
+func TestMembershipJoinWarmBeforeServe(t *testing.T) {
+	fl := newFleet(t, 3)
+	cfg := Config{
+		Replicas:      fl.urls[:2],
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  300 * time.Millisecond,
+		FailAfter:     2,
+		UpAfter:       2,
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Close)
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/warm", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm = %d", rec.Code)
+	}
+	items, want := fl.batch(t)
+	if qrec, _ := postQuery(t, rt, server.QueryRequest{Queries: items}); qrec.Code != http.StatusOK {
+		t.Fatalf("pre-join query = %d", qrec.Code)
+	}
+	if got := rt.Ring().Epoch(); got != 1 {
+		t.Fatalf("boot epoch = %d, want 1", got)
+	}
+
+	code, resp := postMembers(t, rt, map[string]any{"op": "join", "url": fl.urls[2]})
+	if code != http.StatusOK {
+		t.Fatalf("join = %d: %s", code, resp.Error)
+	}
+	if resp.Epoch != 2 {
+		t.Fatalf("post-join epoch = %d, want 2", resp.Epoch)
+	}
+	if resp.Replica != 2 {
+		t.Fatalf("joiner slot = %d, want 2 (append-only slots)", resp.Replica)
+	}
+
+	// Warm-before-serve: everything the published ring assigns the
+	// joiner must already be materialized on it.
+	ring := rt.Ring()
+	owned := ring.Owned(fl.sources, 2)
+	if resp.Warmed != len(owned) {
+		t.Fatalf("join warmed %d sources, ring assigns %d", resp.Warmed, len(owned))
+	}
+	cached := replicaSources(t, fl.urls[2])
+	for _, s := range owned {
+		if !cached[s] {
+			t.Fatalf("joiner serves source %d under epoch %d but has not warmed it", s, ring.Epoch())
+		}
+	}
+
+	mem := getMembers(t, rt)
+	if mem.Epoch != 2 || len(mem.Members) != 3 {
+		t.Fatalf("members view: epoch %d members %v", mem.Epoch, mem.Members)
+	}
+	joiner := mem.Replicas[2]
+	if !joiner.Member || !joiner.SliceWarmed || joiner.JoinEpoch != 2 {
+		t.Fatalf("joiner row: %+v", joiner)
+	}
+
+	// Answers through the grown fleet stay bit-identical, with zero
+	// route errors.
+	qrec, qresp := postQuery(t, rt, server.QueryRequest{Queries: items})
+	if qrec.Code != http.StatusOK {
+		t.Fatalf("post-join query = %d", qrec.Code)
+	}
+	for i, a := range qresp.Answers {
+		if a.RouteError != "" || a.Error != "" {
+			t.Fatalf("post-join item %d: routeError=%q error=%q", i, a.RouteError, a.Error)
+		}
+		if a.Length != want[i] {
+			t.Fatalf("post-join item %d: %d != reference %d", i, a.Length, want[i])
+		}
+	}
+	st := routerStats(t, rt)
+	if st.Router.Joins != 1 || st.Router.Epoch != 2 {
+		t.Fatalf("stats: joins=%d epoch=%d", st.Router.Joins, st.Router.Epoch)
+	}
+	if st.Router.MembershipWarms != int64(len(owned)) {
+		t.Fatalf("membershipWarms = %d, want %d", st.Router.MembershipWarms, len(owned))
+	}
+
+	// Duplicate joins are rejected without burning an epoch.
+	if code, dup := postMembers(t, rt, map[string]any{"op": "join", "url": fl.urls[2]}); code == http.StatusOK {
+		t.Fatalf("duplicate join accepted: %+v", dup)
+	}
+	if got := rt.Ring().Epoch(); got != 2 {
+		t.Fatalf("epoch moved to %d on a rejected join", got)
+	}
+}
+
+// TestMembershipDrainAndRemove drains the busiest member of a 3-replica
+// fleet: its successors must hold the departing slice before the epoch
+// flips, the drained slot takes no new traffic, and after remove the
+// fleet keeps answering bit-identically with zero route errors.
+func TestMembershipDrainAndRemove(t *testing.T) {
+	fl := newFleet(t, 3)
+	rt := newTestRouter(t, fl, nil)
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/warm", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm = %d", rec.Code)
+	}
+	items, want := fl.batch(t)
+
+	// Drain the member owning the most sources so the hand-off provably
+	// moves work.
+	cur := rt.Ring()
+	owned := make([]int, 3)
+	for _, s := range fl.sources {
+		owned[cur.Owner(s)]++
+	}
+	victim := 0
+	for i, c := range owned {
+		if c > owned[victim] {
+			victim = i
+		}
+	}
+	if owned[victim] == 0 {
+		t.Fatalf("ring gave the victim nothing: %v", owned)
+	}
+
+	code, resp := postMembers(t, rt, map[string]any{"op": "drain", "replica": victim})
+	if code != http.StatusOK {
+		t.Fatalf("drain = %d: %s", code, resp.Error)
+	}
+	if resp.Epoch != 2 {
+		t.Fatalf("post-drain epoch = %d, want 2", resp.Epoch)
+	}
+	if resp.Warmed != owned[victim] {
+		t.Fatalf("drain moved %d sources, victim owned %d", resp.Warmed, owned[victim])
+	}
+
+	// Hand-off warm landed before the flip: every departed source is
+	// materialized on its new owner.
+	next := rt.Ring()
+	for _, s := range fl.sources {
+		if cur.Owner(s) != victim {
+			continue
+		}
+		succ := next.Owner(s)
+		if succ == victim {
+			t.Fatalf("source %d still owned by the drained replica under epoch %d", s, next.Epoch())
+		}
+		if !replicaSources(t, fl.urls[succ])[s] {
+			t.Fatalf("successor %d serves source %d but has not warmed it", succ, s)
+		}
+	}
+
+	if code, rresp := postMembers(t, rt, map[string]any{"op": "remove", "replica": victim}); code != http.StatusOK {
+		t.Fatalf("remove = %d: %s", code, rresp.Error)
+	}
+	mem := getMembers(t, rt)
+	if len(mem.Members) != 2 || mem.Replicas[victim].Member || mem.Replicas[victim].State != "removed" {
+		t.Fatalf("post-remove members view: %+v", mem)
+	}
+
+	before := routerStats(t, rt).Router.Replicas[victim].RoutedItems
+	qrec, qresp := postQuery(t, rt, server.QueryRequest{Queries: items})
+	if qrec.Code != http.StatusOK {
+		t.Fatalf("post-drain query = %d", qrec.Code)
+	}
+	for i, a := range qresp.Answers {
+		if a.RouteError != "" || a.Error != "" {
+			t.Fatalf("post-drain item %d: routeError=%q error=%q", i, a.RouteError, a.Error)
+		}
+		if a.Length != want[i] {
+			t.Fatalf("post-drain item %d: %d != reference %d", i, a.Length, want[i])
+		}
+	}
+	st := routerStats(t, rt)
+	// Remove after a clean drain does not burn an epoch: the slot
+	// already left the ring when the drain flipped to 2.
+	if st.Router.Drains != 1 || st.Router.Removes != 1 || st.Router.Epoch != 2 {
+		t.Fatalf("stats: drains=%d removes=%d epoch=%d", st.Router.Drains, st.Router.Removes, st.Router.Epoch)
+	}
+	if got := st.Router.Replicas[victim].RoutedItems; got != before {
+		t.Fatalf("drained replica took %d new items after the flip", got-before)
+	}
+	if st.Router.RouteErrors != 0 {
+		t.Fatalf("membership churn produced %d route errors", st.Router.RouteErrors)
+	}
+
+	// The last member can never be drained away.
+	last := rt.Ring().Members()[0]
+	if code, _ := postMembers(t, rt, map[string]any{"op": "drain", "replica": rt.Ring().Members()[1]}); code != http.StatusOK {
+		t.Fatalf("second drain rejected")
+	}
+	if code, lresp := postMembers(t, rt, map[string]any{"op": "drain", "replica": last}); code == http.StatusOK {
+		t.Fatalf("drained the last member: %+v", lresp)
+	}
+}
+
+// gated wraps a replica handler so a test can park the first query
+// mid-flight and release it later — the window in which a membership
+// change races an in-flight batch.
+type gated struct {
+	h       http.Handler
+	armed   atomic.Bool
+	entered chan struct{}
+	hold    chan struct{}
+	once    sync.Once
+}
+
+func (g *gated) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.armed.Load() && r.URL.Path == "/v1/query" {
+		g.once.Do(func() { close(g.entered) })
+		<-g.hold
+	}
+	g.h.ServeHTTP(w, r)
+}
+
+// TestMembershipEpochPinning parks a batch mid-dispatch on the sole
+// member, joins a second replica while the batch is in flight, and
+// releases it: the batch must finish on the epoch it pinned at arrival
+// — every item answered by the original member, none rerouted to the
+// joiner, zero route errors.
+func TestMembershipEpochPinning(t *testing.T) {
+	fl := newFleet(t, 2)
+
+	// Re-wrap replica 0 in a gate (the fleet's own servers stay up; the
+	// gate fronts a fresh listener so the router only sees the gated
+	// one).
+	gate := &gated{h: fl.faults[0].h, entered: make(chan struct{}), hold: make(chan struct{})}
+	gts := httptest.NewServer(gate)
+	t.Cleanup(gts.Close)
+
+	rt, err := New(Config{
+		Replicas:      []string{gts.URL},
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  300 * time.Millisecond,
+		ItemDeadline:  10 * time.Second,
+		BatchDeadline: 20 * time.Second,
+		FailAfter:     1000, // the parked query must not demote the member
+		UpAfter:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Close)
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/warm", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm = %d", rec.Code)
+	}
+	items, want := fl.batch(t)
+
+	gate.armed.Store(true)
+	type result struct {
+		code int
+		resp server.QueryResponse
+	}
+	done := make(chan result, 1)
+	go func() {
+		body, _ := json.Marshal(server.QueryRequest{Queries: items})
+		r := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		rt.ServeHTTP(rec, r)
+		var resp server.QueryResponse
+		_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+		done <- result{rec.Code, resp}
+	}()
+
+	<-gate.entered
+	// The batch is parked inside the epoch-1 member. Join replica 1:
+	// epoch 2 publishes while the batch is still in flight.
+	slot, warmed, err := rt.Join(t.Context(), fl.urls[1])
+	if err != nil {
+		t.Fatalf("mid-batch join: %v", err)
+	}
+	if rt.Ring().Epoch() != 2 {
+		t.Fatalf("epoch = %d after join", rt.Ring().Epoch())
+	}
+	gate.armed.Store(false)
+	close(gate.hold)
+
+	res := <-done
+	if res.code != http.StatusOK {
+		t.Fatalf("pinned batch = %d", res.code)
+	}
+	for i, a := range res.resp.Answers {
+		if a.RouteError != "" || a.Length != want[i] {
+			t.Fatalf("pinned item %d: %+v, want length %d", i, a, want[i])
+		}
+	}
+	// The pinned batch never touched the joiner: it routed on epoch 1,
+	// where the original member owned everything.
+	if got := rt.rep(slot).routedItems.Load(); got != 0 {
+		t.Fatalf("joiner served %d items from a batch pinned to the pre-join epoch", got)
+	}
+	t.Logf("pinned batch finished on epoch 1 while epoch 2 (joiner slot %d, %d warmed) was live", slot, warmed)
+}
+
+// TestHealthFlappingHysteresis drives the state machine directly with
+// an alternating fail/ok probe pattern that never reaches failAfter
+// consecutive failures: the replica must stay up and no hand-back
+// (re-warm) may fire.
+func TestHealthFlappingHysteresis(t *testing.T) {
+	var rejoins atomic.Int64
+	h := &health{
+		replicas:  []*replica{{name: "flappy"}},
+		failAfter: 2,
+		upAfter:   2,
+		onRejoin:  func(int) { rejoins.Add(1) },
+	}
+	for i := 0; i < 50; i++ {
+		h.markFailure(0, true)
+		h.markSuccess(0)
+	}
+	if st := h.rep(0).State(); st != StateUp {
+		t.Fatalf("flapping below failAfter demoted the replica to %v", st)
+	}
+	if got := h.handbacks.Load(); got != 0 {
+		t.Fatalf("flapping produced %d hand-backs, want 0", got)
+	}
+	if got := rejoins.Load(); got != 0 {
+		t.Fatalf("flapping fired onRejoin %d times, want 0", got)
+	}
+	if got := h.rep(0).probeFailures.Load(); got != 50 {
+		t.Fatalf("probeFailures = %d, want 50 (failures counted, state unmoved)", got)
+	}
+
+	// A genuine outage still demotes…
+	h.markFailure(0, true)
+	h.markFailure(0, true)
+	if st := h.rep(0).State(); st != StateDown {
+		t.Fatalf("2 consecutive failures left state %v", st)
+	}
+	// …and single successes during the outage must not flap it back up.
+	h.markSuccess(0)
+	h.markFailure(0, true)
+	if st := h.rep(0).State(); st != StateDown {
+		t.Fatalf("one success below upAfter promoted the replica to %v", st)
+	}
+	h.markSuccess(0)
+	h.markSuccess(0)
+	if st := h.rep(0).State(); st != StateUp {
+		t.Fatalf("upAfter successes did not promote: %v", st)
+	}
+	if got := h.handbacks.Load(); got != 1 {
+		t.Fatalf("one real outage+rejoin produced %d hand-backs", got)
+	}
+}
+
+// flakyHealthz fronts a real replica but fails every other /healthz —
+// the worst probe flap that still never reaches failAfter=2
+// consecutive failures. Queries pass through untouched.
+type flakyHealthz struct {
+	h    http.Handler
+	seen atomic.Int64
+}
+
+func (f *flakyHealthz) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		if f.seen.Add(1)%2 == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+	}
+	f.h.ServeHTTP(w, r)
+}
+
+// TestProbeFlappingNoFailoverStorm runs traffic over a fleet whose
+// second member fails every other probe: hysteresis must hold it up —
+// zero failovers, zero hand-backs, zero failover warms (the re-warm
+// storm the hysteresis exists to prevent) — and every answer stays
+// correct.
+func TestProbeFlappingNoFailoverStorm(t *testing.T) {
+	fl := newFleet(t, 2)
+	flaky := &flakyHealthz{h: fl.faults[1].h}
+	fts := httptest.NewServer(flaky)
+	t.Cleanup(fts.Close)
+
+	rt, err := New(Config{
+		Replicas:      []string{fl.urls[0], fts.URL},
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  300 * time.Millisecond,
+		FailAfter:     2,
+		UpAfter:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Close)
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/warm", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm = %d", rec.Code)
+	}
+	items, want := fl.batch(t)
+
+	deadline := time.Now().Add(500 * time.Millisecond)
+	rounds := 0
+	for time.Now().Before(deadline) {
+		qrec, resp := postQuery(t, rt, server.QueryRequest{Queries: items})
+		if qrec.Code != http.StatusOK {
+			t.Fatalf("round %d: query = %d", rounds, qrec.Code)
+		}
+		for i, a := range resp.Answers {
+			if a.RouteError != "" || a.Length != want[i] {
+				t.Fatalf("round %d item %d: %+v, want %d", rounds, i, a, want[i])
+			}
+		}
+		rounds++
+		time.Sleep(5 * time.Millisecond)
+	}
+	if flaky.seen.Load() < 10 {
+		t.Fatalf("only %d probes hit the flaky replica; the flap was not exercised", flaky.seen.Load())
+	}
+	st := routerStats(t, rt)
+	if st.Router.Replicas[1].State != "up" {
+		t.Fatalf("flapping replica state = %s, want up (hysteresis)", st.Router.Replicas[1].State)
+	}
+	if st.Router.Failovers != 0 || st.Router.Handbacks != 0 || st.Router.FailoverWarms != 0 {
+		t.Fatalf("flap storm leaked into routing: failovers=%d handbacks=%d failoverWarms=%d",
+			st.Router.Failovers, st.Router.Handbacks, st.Router.FailoverWarms)
+	}
+	if st.Router.Replicas[1].ProbeFailures == 0 {
+		t.Fatal("flaky replica recorded no probe failures; the flap never happened")
+	}
+	t.Logf("flap held: %d rounds, %d probe failures, 0 failovers/hand-backs", rounds, st.Router.Replicas[1].ProbeFailures)
+}

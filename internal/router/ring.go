@@ -29,8 +29,17 @@
 //     the next live candidates on the ring, which lazily warm the
 //     orphaned sources through the oracle's existing single-flight
 //     build path. When the replica rejoins, its slice routes back to it
-//     (the ring never changed) and the router re-warms the slice on the
-//     rejoined replica in the background.
+//     (the ring epoch never changed) and the router re-warms the slice
+//     on the rejoined replica in the background.
+//   - Dynamic membership: the ring is an epoch-versioned immutable
+//     snapshot swapped atomically. POST /v1/members joins, drains, and
+//     removes replicas at runtime; a joiner is warm-before-serve (its
+//     would-be slice is pre-built on it while the old epoch keeps
+//     serving, and only then is the new epoch published), a drain
+//     warms the departing slice onto its successors before the epoch
+//     flips. In-flight batches pin the epoch they started on, so no
+//     query ever lands on a cold owner and answers stay bit-identical
+//     across the swap.
 package router
 
 import (
@@ -42,44 +51,80 @@ import (
 )
 
 // ringPoint is one virtual node: a position on the 2^64 ring owned by a
-// replica.
+// replica slot.
 type ringPoint struct {
 	hash    uint64
 	replica int
 }
 
-// Ring consistent-hashes source ids over a fixed replica set. The
-// replica set is construction-time fixed — membership changes are a
-// health concern, not a ring concern — which is what makes hand-back
-// automatic: a source's owner never moves, so when the owner comes back
-// up, routing returns to it without any state migration.
+// Ring is one immutable epoch of fleet membership: a consistent-hash
+// placement of source ids over the member slots. Membership changes
+// never mutate a Ring — they build the next epoch's Ring and swap it in
+// atomically, so a batch that captured a snapshot keeps routing on the
+// membership it started with. Slot ids are stable for the router's
+// lifetime (a removed slot's id is never reused), and each slot's vnode
+// sequence is seeded from its id alone, so adding or removing a member
+// moves only the hash ranges adjacent to that member's points — the
+// consistent-hashing property that keeps a join or drain from
+// reshuffling every slice.
 type Ring struct {
-	points   []ringPoint
-	replicas int
+	epoch   uint64
+	members []int // sorted member slot ids
+	points  []ringPoint
+	maxSlot int // 1 + max member slot, for dense seen-sets
 }
 
-// NewRing places vnodes virtual nodes per replica (0 = 64) on the ring.
-// Replicas are identified by index; the layout depends only on
-// (replicas, vnodes), so every router over the same fleet agrees.
+// NewRing places vnodes virtual nodes per replica (0 = 64) on the ring
+// for the boot fleet: epoch 1, member slots 0..replicas-1.
 func NewRing(replicas, vnodes int) (*Ring, error) {
 	if replicas <= 0 {
 		return nil, fmt.Errorf("router: ring needs at least one replica, got %d", replicas)
 	}
+	members := make([]int, replicas)
+	for i := range members {
+		members[i] = i
+	}
+	return NewMemberRing(1, members, vnodes)
+}
+
+// NewMemberRing builds the ring for an arbitrary member set at the
+// given epoch. The layout depends only on (members, vnodes) — epoch is
+// carried, not hashed — so every router that agrees on the member set
+// agrees on placement.
+func NewMemberRing(epoch uint64, members []int, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("router: ring needs at least one member")
+	}
 	if vnodes <= 0 {
 		vnodes = 64
 	}
-	r := &Ring{replicas: replicas}
-	r.points = make([]ringPoint, 0, replicas*vnodes)
-	for i := 0; i < replicas; i++ {
-		// Seed each replica's vnode sequence from a hash of its index so
-		// the point sets of different replicas are decorrelated.
+	sorted := append([]int(nil), members...)
+	sort.Ints(sorted)
+	for i, m := range sorted {
+		if m < 0 {
+			return nil, fmt.Errorf("router: negative member slot %d", m)
+		}
+		if i > 0 && sorted[i-1] == m {
+			return nil, fmt.Errorf("router: duplicate member slot %d", m)
+		}
+	}
+	r := &Ring{
+		epoch:   epoch,
+		members: sorted,
+		maxSlot: sorted[len(sorted)-1] + 1,
+	}
+	r.points = make([]ringPoint, 0, len(sorted)*vnodes)
+	for _, slot := range sorted {
+		// Seed each slot's vnode sequence from a hash of its id so the
+		// point sets of different slots are decorrelated — and stable
+		// across membership changes.
 		h := fnv.New64a()
-		fmt.Fprintf(h, "replica-%d", i)
+		fmt.Fprintf(h, "replica-%d", slot)
 		seed := h.Sum64()
 		for v := 0; v < vnodes; v++ {
 			r.points = append(r.points, ringPoint{
 				hash:    xrand.Mix(seed ^ xrand.Mix(uint64(v)+1)),
-				replica: i,
+				replica: slot,
 			})
 		}
 	}
@@ -87,23 +132,35 @@ func NewRing(replicas, vnodes int) (*Ring, error) {
 		if r.points[a].hash != r.points[b].hash {
 			return r.points[a].hash < r.points[b].hash
 		}
-		// Tie-break on replica index so the order is total and
-		// deterministic even in the (astronomically unlikely) collision.
+		// Tie-break on slot id so the order is total and deterministic
+		// even in the (astronomically unlikely) collision.
 		return r.points[a].replica < r.points[b].replica
 	})
 	return r, nil
 }
 
-// Replicas returns the fleet size the ring was built for.
-func (r *Ring) Replicas() int { return r.replicas }
+// Epoch is this snapshot's membership version. Epochs only ever grow.
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
+// Members returns the member slot ids, sorted.
+func (r *Ring) Members() []int { return append([]int(nil), r.members...) }
+
+// Replicas returns the member count.
+func (r *Ring) Replicas() int { return len(r.members) }
+
+// Contains reports whether slot is a serving member of this epoch.
+func (r *Ring) Contains(slot int) bool {
+	i := sort.SearchInts(r.members, slot)
+	return i < len(r.members) && r.members[i] == slot
+}
 
 // hashSource maps a source id onto the ring.
 func hashSource(source int) uint64 {
 	return xrand.Mix(uint64(int64(source)) ^ 0x5851f42d4c957f2d)
 }
 
-// Owner returns the replica that owns source — the first point at or
-// after the source's hash, wrapping.
+// Owner returns the member slot that owns source — the first point at
+// or after the source's hash, wrapping.
 func (r *Ring) Owner(source int) int {
 	h := hashSource(source)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
@@ -113,7 +170,7 @@ func (r *Ring) Owner(source int) int {
 	return r.points[i].replica
 }
 
-// Candidates returns every replica in ring order starting at the
+// Candidates returns every member slot in ring order starting at the
 // source's owner: Candidates(s)[0] is Owner(s), and the rest is the
 // deterministic failover order — the same walk every router instance
 // would take, so failed-over sources concentrate on the same fallback
@@ -121,21 +178,35 @@ func (r *Ring) Owner(source int) int {
 func (r *Ring) Candidates(source int) []int {
 	h := hashSource(source)
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	out := make([]int, 0, r.replicas)
-	seen := make([]bool, r.replicas)
-	for k := 0; k < len(r.points) && len(out) < r.replicas; k++ {
+	out := make([]int, 0, len(r.members))
+	seen := make([]bool, r.maxSlot)
+	for k := 0; k < len(r.points) && len(out) < len(r.members); k++ {
 		p := r.points[(start+k)%len(r.points)]
 		if !seen[p.replica] {
 			seen[p.replica] = true
 			out = append(out, p.replica)
 		}
 	}
-	// Vnode placement makes missing a replica possible only if it has
-	// zero points, which NewRing rules out; keep the invariant anyway.
-	for i := 0; i < r.replicas; i++ {
-		if !seen[i] {
-			out = append(out, i)
+	// Vnode placement makes missing a member possible only if it has
+	// zero points, which NewMemberRing rules out; keep the invariant
+	// anyway.
+	for _, m := range r.members {
+		if !seen[m] {
+			out = append(out, m)
 		}
 	}
 	return out
+}
+
+// Owned returns the subset of sources whose owner under this ring is
+// slot — the slice a joiner must warm before the epoch publishes, and
+// the slice a drain must hand to successors before it flips.
+func (r *Ring) Owned(sources []int, slot int) []int {
+	var slice []int
+	for _, s := range sources {
+		if r.Owner(s) == slot {
+			slice = append(slice, s)
+		}
+	}
+	return slice
 }

@@ -21,9 +21,10 @@ import (
 // Config tunes the routing tier. The zero value of every field derives
 // a sensible default; only Replicas is required.
 type Config struct {
-	// Replicas is the fleet: msrp-serve base URLs, index-identified.
-	// The set is fixed for the router's lifetime (membership changes are
-	// modeled as health, which is what makes hand-back automatic).
+	// Replicas is the boot fleet: msrp-serve base URLs, slot-identified
+	// by index. Membership is dynamic after boot — POST /v1/members
+	// joins, drains, and removes replicas at runtime; the boot set only
+	// determines epoch 1 of the ring.
 	Replicas []string
 
 	// VNodes is the virtual nodes per replica on the hash ring (0 = 64).
@@ -59,7 +60,7 @@ type Config struct {
 	UpAfter       int
 
 	// MaxInFlight bounds concurrently routed /v1/query batches
-	// (0 = 16 × replicas; negative = unbounded). Excess gets 429,
+	// (0 = 16 × boot replicas; negative = unbounded). Excess gets 429,
 	// mirroring the replica admission stance: never queued.
 	MaxInFlight int
 	// MaxBodyBytes caps the /v1/query request body (0 = 8 MiB,
@@ -131,11 +132,15 @@ func (c *Config) withDefaults() Config {
 // Start to launch the health loops, and Close to stop them.
 type Router struct {
 	cfg    Config
-	ring   *Ring
-	reps   []*replica
-	health *health
+	ring   atomic.Pointer[Ring] // current membership epoch; swapped whole
+	health *health              // owns the append-only replica table
 	client *http.Client
 	mux    *http.ServeMux
+
+	// memberMu serializes membership operations: each builds the next
+	// ring from the current one, so two concurrent joins would race the
+	// epoch. Queries never take it — they just Load the ring pointer.
+	memberMu sync.Mutex
 
 	queries  chan struct{} // admission slots (nil = unbounded)
 	draining atomic.Bool
@@ -148,6 +153,12 @@ type Router struct {
 	failovers   atomic.Int64 // items answered by a non-owner
 	routeErrors atomic.Int64 // items that failed all attempts
 	rejections  atomic.Int64 // batches 429'd by router admission
+
+	// Membership counters.
+	joins           atomic.Int64 // replicas joined via /v1/members
+	drains          atomic.Int64 // replicas drained via /v1/members
+	removes         atomic.Int64 // replicas removed via /v1/members
+	membershipWarms atomic.Int64 // sources warmed by join/drain hand-offs
 
 	// failoverWarms counts distinct (source, replica) failover
 	// placements — each is a source some non-owner replica had to warm
@@ -167,7 +178,8 @@ type Router struct {
 	rng   *xrand.RNG
 }
 
-// New builds a router over the given fleet. Call Start before serving.
+// New builds a router over the given boot fleet. Call Start before
+// serving.
 func New(cfg Config) (*Router, error) {
 	if len(cfg.Replicas) == 0 {
 		return nil, errors.New("router: need at least one replica URL")
@@ -186,18 +198,24 @@ func New(cfg Config) (*Router, error) {
 	}
 	rt := &Router{
 		cfg:    d,
-		ring:   ring,
 		client: client,
 		mux:    http.NewServeMux(),
 		fwSeen: make(map[uint64]struct{}),
 		rng:    xrand.New(uint64(time.Now().UnixNano())),
 	}
-	rt.reps = make([]*replica, len(d.Replicas))
+	rt.ring.Store(ring)
+	reps := make([]*replica, len(d.Replicas))
 	for i, name := range d.Replicas {
-		rt.reps[i] = &replica{name: name}
+		r := &replica{name: name}
+		r.joinEpoch.Store(ring.Epoch())
+		// Boot replicas warm through the fleet-level /v1/warm before
+		// traffic arrives; only runtime joiners gate serving on their
+		// membership warm.
+		r.sliceWarmed.Store(true)
+		reps[i] = r
 	}
 	rt.health = &health{
-		replicas:  rt.reps,
+		replicas:  reps,
 		client:    client,
 		interval:  d.ProbeInterval,
 		timeout:   d.ProbeTimeout,
@@ -214,6 +232,8 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("POST /v1/warm", rt.handleWarm)
 	rt.mux.HandleFunc("GET /v1/sources", rt.handleSources)
 	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("GET /v1/members", rt.handleMembersGet)
+	rt.mux.HandleFunc("POST /v1/members", rt.handleMembersPost)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	return rt, nil
 }
@@ -229,13 +249,19 @@ func (rt *Router) Close() { rt.health.close() }
 // load-balancer drain signal a replica exposes.
 func (rt *Router) SetDraining(v bool) { rt.draining.Store(v) }
 
-// Ring exposes the placement function (for tests and introspection).
-func (rt *Router) Ring() *Ring { return rt.ring }
+// Ring exposes the current membership epoch's placement function (for
+// tests and introspection). The snapshot is immutable; reload after a
+// membership change.
+func (rt *Router) Ring() *Ring { return rt.ring.Load() }
 
-// ReplicaStates snapshots each replica's health state.
+// rep returns the health record for a replica slot.
+func (rt *Router) rep(i int) *replica { return rt.health.rep(i) }
+
+// ReplicaStates snapshots each replica slot's health state.
 func (rt *Router) ReplicaStates() []State {
-	out := make([]State, len(rt.reps))
-	for i, r := range rt.reps {
+	reps := rt.health.snapshot()
+	out := make([]State, len(reps))
+	for i, r := range reps {
 		out[i] = r.State()
 	}
 	return out
@@ -375,6 +401,13 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	rt.batches.Add(1)
 	rt.items.Add(int64(len(req.Queries)))
 
+	// Pin this batch to the membership epoch current at arrival: every
+	// candidate walk below routes on the same immutable snapshot, so a
+	// concurrent join or drain (which swaps the pointer to the next
+	// epoch) cannot send any of this batch's items to a replica that
+	// was not warm under the epoch the batch started on.
+	ring := rt.ring.Load()
+
 	// Deadline hierarchy: the client's declared budget (if any) caps the
 	// batch deadline; the per-item deadline is clamped inside the batch;
 	// each sub-batch attempt carries the remaining item budget down to
@@ -405,7 +438,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Group items by their first live candidate and scatter.
 	groups := make(map[int][]*routeItem)
 	for i, q := range req.Queries {
-		it := &routeItem{idx: i, q: q, cands: rt.ring.Candidates(q.Source)}
+		it := &routeItem{idx: i, q: q, cands: ring.Candidates(q.Source)}
 		if !rt.seekLive(it) {
 			st.fail1(it, "no live replica for this source's hash range", false)
 			continue
@@ -480,10 +513,13 @@ func (rt *Router) acquire() (func(), bool) {
 }
 
 // seekLive advances it.pos to the first routable candidate at or after
-// the current position. Draining and down replicas are skipped.
+// the current position. Draining, down, and removed replicas are
+// skipped (a batch pinned to an old epoch may still walk candidates
+// that have since left the fleet).
 func (rt *Router) seekLive(it *routeItem) bool {
 	for ; it.pos < len(it.cands); it.pos++ {
-		if rt.reps[it.cands[it.pos]].State() == StateUp {
+		r := rt.rep(it.cands[it.pos])
+		if !r.removed.Load() && r.State() == StateUp {
 			return true
 		}
 	}
@@ -516,13 +552,14 @@ func (rt *Router) dispatch(st *scatterState, rep int, grp []*routeItem) {
 		}
 		switch res {
 		case subOK:
+			rr := rt.rep(rep)
 			for k, it := range grp {
 				st.answers[it.idx] = parsed.Answers[k]
 				st.answered.Add(1)
-				rt.reps[rep].routedItems.Add(1)
+				rr.routedItems.Add(1)
 				if owner := it.cands[0]; owner != rep {
 					rt.failovers.Add(1)
-					rt.reps[rep].failedOverItems.Add(1)
+					rr.failedOverItems.Add(1)
 					rt.noteFailoverWarm(it.q.Source, rep)
 				}
 			}
@@ -625,7 +662,7 @@ func (rt *Router) sendSubBatch(st *scatterState, rep int, grp []*routeItem) (sub
 		panic("router: marshal sub-batch: " + err.Error()) // wire-shaped data; cannot fail
 	}
 	req, err := http.NewRequestWithContext(st.itemCtx, http.MethodPost,
-		rt.reps[rep].name+"/v1/query", bytes.NewReader(body))
+		rt.rep(rep).name+"/v1/query", bytes.NewReader(body))
 	if err != nil {
 		return subFailed, nil, 0, 0
 	}
@@ -687,8 +724,8 @@ func (rt *Router) sourceSet(ctx context.Context) ([]int, error) {
 		return rt.sources, nil
 	}
 	var lastErr error = errors.New("router: no replica answered /v1/sources")
-	for i, rep := range rt.reps {
-		if rep.State() != StateUp {
+	for i, rep := range rt.health.snapshot() {
+		if rep.removed.Load() || rep.State() != StateUp {
 			continue
 		}
 		var sr server.SourcesResponse
@@ -706,22 +743,17 @@ func (rt *Router) sourceSet(ctx context.Context) ([]int, error) {
 	return nil, lastErr
 }
 
-// ownedSlice returns the sources whose ring owner is replica i.
-func (rt *Router) ownedSlice(sources []int, i int) []int {
-	var slice []int
-	for _, s := range sources {
-		if rt.ring.Owner(s) == i {
-			slice = append(slice, s)
-		}
-	}
-	return slice
-}
-
 // handBack is the down→up rejoin hook: re-warm the rejoined replica's
 // hash slice in the background so queries routing home again hit a warm
 // cache instead of σ/N rebuilds.
 func (rt *Router) handBack(i int) {
 	go func() {
+		ring := rt.ring.Load()
+		if !ring.Contains(i) {
+			// A joiner flapping during its membership warm, or a slot
+			// already drained out: no slice to hand back.
+			return
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.WarmTimeout)
 		defer cancel()
 		sources, err := rt.sourceSet(ctx)
@@ -729,11 +761,11 @@ func (rt *Router) handBack(i int) {
 			rt.logf("hand-back warm for replica %d: %v", i, err)
 			return
 		}
-		slice := rt.ownedSlice(sources, i)
+		slice := ring.Owned(sources, i)
 		if len(slice) == 0 {
 			return
 		}
-		if err := rt.postWarm(ctx, rt.reps[i].name, slice); err != nil {
+		if err := rt.postWarm(ctx, rt.rep(i).name, slice); err != nil {
 			rt.logf("hand-back warm for replica %d (%d sources): %v", i, len(slice), err)
 			return
 		}
@@ -794,12 +826,13 @@ func (rt *Router) handleWarm(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadGateway, server.WarmResponse{Error: err.Error()})
 		return
 	}
+	ring := rt.ring.Load()
 
 	// Group every source by the replica that currently serves it.
 	slices := make(map[int][]int)
 	var unroutable []int
 	for _, s := range sources {
-		it := &routeItem{q: server.QueryItem{Source: s}, cands: rt.ring.Candidates(s)}
+		it := &routeItem{q: server.QueryItem{Source: s}, cands: ring.Candidates(s)}
 		if !rt.seekLive(it) {
 			unroutable = append(unroutable, s)
 			continue
@@ -815,7 +848,7 @@ func (rt *Router) handleWarm(w http.ResponseWriter, r *http.Request) {
 	out := make(chan warmOut, len(slices))
 	for rep, slice := range slices {
 		go func(rep int, slice []int) {
-			out <- warmOut{rep, rt.postWarm(r.Context(), rt.reps[rep].name, slice)}
+			out <- warmOut{rep, rt.postWarm(r.Context(), rt.rep(rep).name, slice)}
 		}(rep, slice)
 	}
 	var errs []string
@@ -824,35 +857,50 @@ func (rt *Router) handleWarm(w http.ResponseWriter, r *http.Request) {
 		if o.err != nil {
 			rt.health.markFailure(o.rep, false)
 			errs = append(errs, o.err.Error())
+			continue
 		}
+		rt.rep(o.rep).sliceWarmed.Store(true)
 	}
 	if len(unroutable) > 0 {
 		errs = append(errs, fmt.Sprintf("%d sources have no live replica", len(unroutable)))
 	}
 
-	cached := rt.sumCachedSources(r.Context())
+	cached, stale := rt.sumCachedSources(r.Context())
 	if len(errs) > 0 {
 		writeJSON(w, http.StatusBadGateway, server.WarmResponse{
 			CachedSources: cached,
+			StaleReplicas: stale,
 			Error:         "warm incomplete: " + errs[0],
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, server.WarmResponse{CachedSources: cached, Warmed: len(sources)})
+	writeJSON(w, http.StatusOK, server.WarmResponse{
+		CachedSources: cached,
+		StaleReplicas: stale,
+		Warmed:        len(sources),
+	})
 }
 
-func (rt *Router) sumCachedSources(ctx context.Context) int {
-	total := 0
-	for _, rep := range rt.reps {
-		if rep.State() == StateDown {
+// sumCachedSources totals the cached-source counts of the current
+// epoch's serving members. A replica that goes down mid-scrape (or was
+// already down) contributes nothing to the sum and increments stale —
+// a partial sum with an honest staleness count, never an error.
+func (rt *Router) sumCachedSources(ctx context.Context) (total, stale int) {
+	ring := rt.ring.Load()
+	for _, slot := range ring.Members() {
+		rep := rt.rep(slot)
+		if rep.removed.Load() || rep.State() == StateDown {
+			stale++
 			continue
 		}
 		var sr server.SourcesResponse
-		if err := rt.getJSON(ctx, rep.name+"/v1/sources", &sr); err == nil {
-			total += len(sr.Cached)
+		if err := rt.getJSON(ctx, rep.name+"/v1/sources", &sr); err != nil {
+			stale++
+			continue
 		}
+		total += len(sr.Cached)
 	}
-	return total
+	return total, stale
 }
 
 func (rt *Router) handleSources(w http.ResponseWriter, r *http.Request) {
@@ -861,9 +909,11 @@ func (rt *Router) handleSources(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
 		return
 	}
+	ring := rt.ring.Load()
 	cachedSet := make(map[int]struct{})
-	for _, rep := range rt.reps {
-		if rep.State() == StateDown {
+	for _, slot := range ring.Members() {
+		rep := rt.rep(slot)
+		if rep.removed.Load() || rep.State() == StateDown {
 			continue
 		}
 		var sr server.SourcesResponse
@@ -890,9 +940,10 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "draining")
 		return
 	}
+	ring := rt.ring.Load()
 	up := 0
-	for _, rep := range rt.reps {
-		if rep.State() == StateUp {
+	for _, slot := range ring.Members() {
+		if rt.rep(slot).State() == StateUp {
 			up++
 		}
 	}
@@ -902,7 +953,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintf(w, "ok (%d/%d replicas up)\n", up, len(rt.reps))
+	fmt.Fprintf(w, "ok (%d/%d replicas up)\n", up, ring.Replicas())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

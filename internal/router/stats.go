@@ -11,6 +11,9 @@ import (
 type ReplicaStats struct {
 	Name            string                `json:"name"`
 	State           string                `json:"state"`
+	Member          bool                  `json:"member"`
+	JoinEpoch       uint64                `json:"joinEpoch"`
+	SliceWarmed     bool                  `json:"sliceWarmed"`
 	RoutedItems     int64                 `json:"routedItems"`
 	FailedOverItems int64                 `json:"failedOverItems"`
 	ProbeFailures   int64                 `json:"probeFailures"`
@@ -23,17 +26,24 @@ type ReplicaStats struct {
 // StatsResponse keeps working (it ignores the extra key) while a
 // router-aware one sees the fleet.
 type RouterSection struct {
-	Batches       int64          `json:"batches"`
-	Items         int64          `json:"items"`
-	SubBatches    int64          `json:"subBatches"`
-	Retries       int64          `json:"retries"`
-	Failovers     int64          `json:"failovers"`
-	FailoverWarms int64          `json:"failoverWarms"`
-	RouteErrors   int64          `json:"routeErrors"`
-	Rejections    int64          `json:"rejections"`
-	Handbacks     int64          `json:"handbacks"`
-	ReplicasUp    int            `json:"replicasUp"`
-	Replicas      []ReplicaStats `json:"replicas"`
+	Batches         int64          `json:"batches"`
+	Items           int64          `json:"items"`
+	SubBatches      int64          `json:"subBatches"`
+	Retries         int64          `json:"retries"`
+	Failovers       int64          `json:"failovers"`
+	FailoverWarms   int64          `json:"failoverWarms"`
+	RouteErrors     int64          `json:"routeErrors"`
+	Rejections      int64          `json:"rejections"`
+	Handbacks       int64          `json:"handbacks"`
+	Epoch           uint64         `json:"epoch"`
+	Joins           int64          `json:"joins"`
+	Drains          int64          `json:"drains"`
+	Removes         int64          `json:"removes"`
+	MembershipWarms int64          `json:"membershipWarms"`
+	StaleReplicas   int            `json:"staleReplicas"`
+	Members         []int          `json:"members"`
+	ReplicasUp      int            `json:"replicasUp"`
+	Replicas        []ReplicaStats `json:"replicas"`
 }
 
 // StatsResponse is the router's /v1/stats body: a fleet-aggregated
@@ -68,6 +78,7 @@ func aggregate(parts []*server.StatsResponse) server.StatsResponse {
 		agg.ProvenanceBytes += p.ProvenanceBytes
 		agg.ProvenanceEvictions += p.ProvenanceEvictions
 		agg.ProvenanceRebuilds += p.ProvenanceRebuilds
+		agg.ProvenanceRebuildRejects += p.ProvenanceRebuildRejects
 		// The raw/compacted pair sums too: each replica warms its own
 		// slice, so the fleet's plane is the sum of the slices' planes.
 		agg.ProvenanceRawBytes += p.ProvenanceRawBytes
@@ -110,15 +121,25 @@ func aggregate(parts []*server.StatsResponse) server.StatsResponse {
 }
 
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
-	// Scrape live replicas concurrently; a down replica contributes its
-	// routing counters but no oracle stats (it is not there to ask).
-	parts := make([]*server.StatsResponse, len(rt.reps))
-	cachedCounts := make([]int, len(rt.reps))
+	// Snapshot the replica table and the ring once: rows added by a
+	// concurrent join simply don't appear in this scrape.
+	reps := rt.health.snapshot()
+	ring := rt.ring.Load()
+
+	// Scrape live replicas concurrently; a replica that is down (or
+	// removed, or dies mid-scrape) contributes its routing counters but
+	// no oracle stats — it is not there to ask. Serving members whose
+	// scrape fails are reported as stale rather than silently absorbed
+	// into a too-small aggregate.
+	parts := make([]*server.StatsResponse, len(reps))
+	cachedCounts := make([]int, len(reps))
+	scraped := make([]bool, len(reps))
 	var wg sync.WaitGroup
-	for i, rep := range rt.reps {
-		if rep.State() == StateDown {
+	for i, rep := range reps {
+		if rep.removed.Load() || rep.State() == StateDown {
 			continue
 		}
+		scraped[i] = true
 		wg.Add(1)
 		go func(i int, base string) {
 			defer wg.Done()
@@ -131,26 +152,46 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 
-	sec := RouterSection{
-		Batches:       rt.batches.Load(),
-		Items:         rt.items.Load(),
-		SubBatches:    rt.subBatches.Load(),
-		Retries:       rt.retries.Load(),
-		Failovers:     rt.failovers.Load(),
-		FailoverWarms: rt.failoverWarms.Load(),
-		RouteErrors:   rt.routeErrors.Load(),
-		Rejections:    rt.rejections.Load(),
-		Handbacks:     rt.health.handbacks.Load(),
-		Replicas:      make([]ReplicaStats, len(rt.reps)),
+	stale := 0
+	for i := range reps {
+		if ring.Contains(i) && (!scraped[i] || parts[i] == nil) {
+			stale++
+		}
 	}
-	for i, rep := range rt.reps {
+
+	sec := RouterSection{
+		Batches:         rt.batches.Load(),
+		Items:           rt.items.Load(),
+		SubBatches:      rt.subBatches.Load(),
+		Retries:         rt.retries.Load(),
+		Failovers:       rt.failovers.Load(),
+		FailoverWarms:   rt.failoverWarms.Load(),
+		RouteErrors:     rt.routeErrors.Load(),
+		Rejections:      rt.rejections.Load(),
+		Handbacks:       rt.health.handbacks.Load(),
+		Epoch:           ring.Epoch(),
+		Joins:           rt.joins.Load(),
+		Drains:          rt.drains.Load(),
+		Removes:         rt.removes.Load(),
+		MembershipWarms: rt.membershipWarms.Load(),
+		StaleReplicas:   stale,
+		Members:         ring.Members(),
+		Replicas:        make([]ReplicaStats, len(reps)),
+	}
+	for i, rep := range reps {
 		state := rep.State()
-		if state == StateUp {
+		stateStr := state.String()
+		if rep.removed.Load() {
+			stateStr = "removed"
+		} else if state == StateUp && ring.Contains(i) {
 			sec.ReplicasUp++
 		}
 		sec.Replicas[i] = ReplicaStats{
 			Name:            rep.name,
-			State:           state.String(),
+			State:           stateStr,
+			Member:          ring.Contains(i),
+			JoinEpoch:       rep.joinEpoch.Load(),
+			SliceWarmed:     rep.sliceWarmed.Load(),
 			RoutedItems:     rep.routedItems.Load(),
 			FailedOverItems: rep.failedOverItems.Load(),
 			ProbeFailures:   rep.probeFailures.Load(),

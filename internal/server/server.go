@@ -363,6 +363,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	resp := QueryResponse{Answers: make([]AnswerItem, len(answers))}
 	status := http.StatusOK
+	saturated := false
 	pathBudget := s.maxPathVerts
 	for i, a := range answers {
 		switch {
@@ -371,8 +372,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// The sentinels (not string matching) decide the status: a
 			// query for a vertex outside the oracle's source set — or
 			// for paths this deployment does not track — is a client
-			// error, not an empty result.
-			if errors.Is(a.Err, msrp.ErrNotSource) || errors.Is(a.Err, msrp.ErrPathsNotTracked) {
+			// error, not an empty result. Rebuild saturation is neither:
+			// it is admission control, surfaced below as the 429 it is.
+			if errors.Is(a.Err, msrp.ErrRebuildSaturated) {
+				saturated = true
+			} else if errors.Is(a.Err, msrp.ErrNotSource) || errors.Is(a.Err, msrp.ErrPathsNotTracked) {
 				status = http.StatusBadRequest
 				if resp.Error == "" {
 					resp.Error = a.Err.Error()
@@ -400,6 +404,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Answers[i].Path = a.Path
 		}
 	}
+	// A batch that hit rebuild admission gets the same 429 + derived
+	// Retry-After contract as front-door admission: the caller backs
+	// off and retries — by then the in-flight rebuilds have landed (a
+	// cache hit) or a slot has freed. A malformed batch stays a 400;
+	// the saturated items' per-item errors still say what happened.
+	if saturated && status == http.StatusOK {
+		s.oracle.RecordRejection()
+		retry := s.retryAfter
+		if retry == "" {
+			retry = formatRetryAfter(DeriveRetryAfter(s.oracle.Stats(), s.numSources))
+		}
+		w.Header().Set("Retry-After", retry)
+		status = http.StatusTooManyRequests
+		if resp.Error == "" {
+			resp.Error = "provenance rebuild capacity exhausted; retry later"
+		}
+	}
 	writeJSON(w, status, resp)
 }
 
@@ -413,9 +434,13 @@ type WarmRequest struct {
 }
 
 // WarmResponse is the /v1/warm response body. Warmed is the size of the
-// requested slice on slice warms (0 on full warms).
+// requested slice on slice warms (0 on full warms). StaleReplicas is
+// set only by the routing tier: how many serving members could not be
+// scraped for the CachedSources sum, which is then a partial total
+// rather than an error.
 type WarmResponse struct {
 	CachedSources int    `json:"cachedSources"`
+	StaleReplicas int    `json:"staleReplicas,omitempty"`
 	Warmed        int    `json:"warmed,omitempty"`
 	Error         string `json:"error,omitempty"`
 }
@@ -528,6 +553,7 @@ type StatsResponse struct {
 	// before/after post-solve compaction.
 	ProvenanceEvictions      int64 `json:"provenanceEvictions"`
 	ProvenanceRebuilds       int64 `json:"provenanceRebuilds"`
+	ProvenanceRebuildRejects int64 `json:"provenanceRebuildRejects"`
 	ProvenanceRawBytes       int64 `json:"provenanceRawBytes"`
 	ProvenanceCompactedBytes int64 `json:"provenanceCompactedBytes"`
 
@@ -572,6 +598,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 		ProvenanceEvictions:      st.ProvenanceEvictions,
 		ProvenanceRebuilds:       st.ProvenanceRebuilds,
+		ProvenanceRebuildRejects: st.ProvenanceRebuildRejects,
 		ProvenanceRawBytes:       st.ProvenanceRawBytes,
 		ProvenanceCompactedBytes: st.ProvenanceCompactedBytes,
 

@@ -148,6 +148,20 @@ type Options struct {
 	// (counted by OracleStats.ProvenanceEvictions / ProvenanceRebuilds).
 	// Only meaningful with TrackPaths; ignored by the one-shot solvers.
 	MaxProvenanceBytes int64
+
+	// MaxProvenanceRebuilds bounds how many on-demand tracked rebuilds
+	// (path queries against budget-stripped sources) the Oracle runs
+	// concurrently. A path-query storm against stripped sources is a
+	// thundering herd of full solves that the serving tier's in-flight
+	// budget does not model — each rebuild costs a whole per-source
+	// build, not a cache lookup. Over-limit rebuild attempts fail fast
+	// with ErrRebuildSaturated (never queue), which serving front-ends
+	// map to 429 + a derived Retry-After. 0 derives a small default from
+	// the build parallelism (max(1, Parallelism/2), with Parallelism ≤ 0
+	// resolved to GOMAXPROCS); negative means unbounded. Only meaningful
+	// with TrackPaths and a finite MaxProvenanceBytes — without strips
+	// there is nothing to rebuild.
+	MaxProvenanceRebuilds int
 }
 
 // DefaultOptions returns the paper-faithful configuration.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,21 @@ var ErrNotSource = errors.New("msrp: not an oracle source")
 // notSourceError wraps ErrNotSource with the offending vertex.
 func notSourceError(s int) error {
 	return fmt.Errorf("%w: %d", ErrNotSource, s)
+}
+
+// ErrRebuildSaturated is the sentinel wrapped by every "on-demand
+// provenance rebuild capacity exhausted" error: a path query hit a
+// budget-stripped source while Options.MaxProvenanceRebuilds rebuilds
+// were already solving. The query was not queued — admission here
+// mirrors the serving tier's never-queue stance — and retrying after a
+// short backoff will find either the rebuilt provenance (a cache hit)
+// or a free rebuild slot. Serving front-ends should test with errors.Is
+// and map it to 429 + a derived Retry-After.
+var ErrRebuildSaturated = errors.New("msrp: provenance rebuild capacity exhausted")
+
+// rebuildSaturatedError wraps ErrRebuildSaturated with the source.
+func rebuildSaturatedError(s int) error {
+	return fmt.Errorf("%w: source %d", ErrRebuildSaturated, s)
 }
 
 // Query is one replacement-path question for Oracle.QueryBatch: the
@@ -101,6 +117,16 @@ type Oracle struct {
 	warming  *warmCall // in-flight Warm, nil when idle (single-flight)
 	warmed   bool      // a Warm pipeline has completed; repeats are no-ops
 
+	// rebuildSem bounds concurrent on-demand tracked rebuilds (path
+	// queries against budget-stripped sources); nil = unbounded. Slots
+	// are acquired non-blocking under mu — an over-limit rebuild fails
+	// fast with ErrRebuildSaturated instead of piling another full solve
+	// behind the ones already running. rebuildActive/rebuildPeak observe
+	// the bound (the storm test asserts peak ≤ limit under -race).
+	rebuildSem    chan struct{}
+	rebuildActive atomic.Int64
+	rebuildPeak   atomic.Int64
+
 	// Serving counters (Stats). Plain atomics so the query hot path
 	// never takes an extra lock and concurrent batches never contend on
 	// observability.
@@ -138,6 +164,9 @@ type Oracle struct {
 	provenanceRebuilds  int64
 	provRawBytes        int64
 	provCompactedBytes  int64
+	// rebuildRejects counts rebuild attempts turned away by rebuildSem
+	// (an atomic: it is bumped after mu is released).
+	rebuildRejects atomic.Int64
 	// warmProv pins the warm provenance plane (guarded by mu) — but only
 	// on the fallback path where post-solve compaction failed and the
 	// full shared §8 plane (parent chains, seed table, center forest)
@@ -218,6 +247,10 @@ type OracleStats struct {
 	// ProvenanceRebuilds counts on-demand tracked rebuilds triggered by
 	// a path query against a source whose provenance had been evicted.
 	ProvenanceRebuilds int64
+	// ProvenanceRebuildRejects counts rebuild attempts turned away by
+	// Options.MaxProvenanceRebuilds admission (ErrRebuildSaturated) —
+	// the thundering herd the bound absorbed.
+	ProvenanceRebuildRejects int64
 	// ProvenanceRawBytes and ProvenanceCompactedBytes record the most
 	// recent completed Warm's provenance plane before and after
 	// post-solve compaction (zero before any tracked warm; compacted
@@ -281,6 +314,7 @@ func (o *Oracle) Stats() OracleStats {
 		ProvenanceBytes:          provBytes,
 		ProvenanceEvictions:      provEvictions,
 		ProvenanceRebuilds:       provRebuilds,
+		ProvenanceRebuildRejects: o.rebuildRejects.Load(),
 		ProvenanceRawBytes:       provRaw,
 		ProvenanceCompactedBytes: provCompacted,
 		Hits:                  o.hits.Load(),
@@ -364,7 +398,31 @@ func NewOracle(g *Graph, sources []int, opts Options) (*Oracle, error) {
 	for _, s := range sources {
 		o.isSource[s] = true
 	}
+	if limit := opts.rebuildLimit(); limit > 0 {
+		o.rebuildSem = make(chan struct{}, limit)
+	}
 	return o, nil
+}
+
+// rebuildLimit resolves Options.MaxProvenanceRebuilds: explicit
+// positive values pass through, negative means unbounded (0 — no
+// semaphore), and 0 derives max(1, Parallelism/2) with Parallelism ≤ 0
+// resolved to GOMAXPROCS, mirroring how the engine sizes its pool.
+func (o Options) rebuildLimit() int {
+	switch {
+	case o.MaxProvenanceRebuilds > 0:
+		return o.MaxProvenanceRebuilds
+	case o.MaxProvenanceRebuilds < 0:
+		return 0
+	}
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p /= 2; p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // Sources returns the oracle's source set in construction order.
@@ -477,11 +535,12 @@ func (o *Oracle) QueryBatchContext(ctx context.Context, queries []Query) ([]Answ
 	// long-lived inner pool, whose free list reuses build scratch
 	// across batches.
 	results := make([]*Result, len(order))
+	errs := make([]error, len(order))
 	err := o.pool.RunCtx(ctx, len(order), func(i int) {
 		if needPaths[order[i]] {
-			results[i], _ = o.resultWithPaths(ctx, order[i], o.seq)
+			results[i], errs[i] = o.resultWithPaths(ctx, order[i], o.seq)
 		} else {
-			results[i], _ = o.result(ctx, order[i], o.seq) // source validated above
+			results[i], errs[i] = o.result(ctx, order[i], o.seq) // source validated above
 		}
 	})
 	if err != nil {
@@ -491,6 +550,19 @@ func (o *Oracle) QueryBatchContext(ctx context.Context, queries []Query) ([]Answ
 
 	for i, s := range order {
 		res := results[i]
+		if res == nil {
+			// The source failed to materialize — rebuild admission
+			// (ErrRebuildSaturated) or a per-source cancellation race.
+			// Per-item verdicts, never a lost answer.
+			serr := errs[i]
+			if serr == nil {
+				serr = fmt.Errorf("msrp: source %d failed to materialize", s)
+			}
+			for _, qi := range bySource[s] {
+				answers[qi].Err = serr
+			}
+			continue
+		}
 		for _, qi := range bySource[s] {
 			q := queries[qi]
 			// One edge resolution serves both the length lookup and the
@@ -786,12 +858,44 @@ func (o *Oracle) resultWithPaths(ctx context.Context, s int, pool *engine.Pool) 
 			// with the budget); retry as leader.
 			continue
 		}
+		if rebuilding && o.rebuildSem != nil {
+			// Admission for on-demand rebuilds: each one is a full
+			// per-source solve that only exists because the byte budget
+			// stripped this source, so a storm of them must not stack
+			// unbounded solves behind the serving tier's back. The
+			// acquire is non-blocking (never queue): over the limit the
+			// query fails fast with ErrRebuildSaturated and the caller
+			// backs off with a derived Retry-After.
+			select {
+			case o.rebuildSem <- struct{}{}:
+			default:
+				o.mu.Unlock()
+				o.rebuildRejects.Add(1)
+				return nil, rebuildSaturatedError(s)
+			}
+		}
 		c := &oracleCall{done: make(chan struct{})}
 		o.inflight[s] = c
 		o.mu.Unlock()
 		o.misses.Add(1)
+		if rebuilding {
+			n := o.rebuildActive.Add(1)
+			for {
+				p := o.rebuildPeak.Load()
+				if n <= p || o.rebuildPeak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+		}
 
 		built := o.build(int32(s), pool)
+
+		if rebuilding {
+			o.rebuildActive.Add(-1)
+			if o.rebuildSem != nil {
+				<-o.rebuildSem
+			}
+		}
 
 		o.mu.Lock()
 		if e, ok := o.cache[s]; ok {

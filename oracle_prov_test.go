@@ -1,8 +1,10 @@
 package msrp
 
 import (
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"msrp/internal/graph"
 	"msrp/internal/rp"
@@ -200,7 +202,7 @@ func TestProvenanceEvictionRaceChurn(t *testing.T) {
 			for it := 0; it < 12; it++ {
 				qi := rng.Intn(len(queries))
 				q := queries[qi]
-				path, err := o.QueryPath(q.Source, q.Target, q.U, q.V)
+				path, err := queryPathRetry(o, q)
 				if err != nil {
 					failures <- err.Error()
 					return
@@ -227,4 +229,89 @@ func TestProvenanceEvictionRaceChurn(t *testing.T) {
 	}
 	t.Logf("churn: %d evictions, %d rebuilds, gauge %d ≤ budget %d",
 		st.ProvenanceEvictions, st.ProvenanceRebuilds, st.ProvenanceBytes, budget)
+}
+
+// queryPathRetry is the documented client contract for a saturated
+// rebuild tier: back off briefly and retry. Every other error is final.
+func queryPathRetry(o *Oracle, q Query) ([]int32, error) {
+	for {
+		path, err := o.QueryPath(q.Source, q.Target, q.U, q.V)
+		if !errors.Is(err, ErrRebuildSaturated) {
+			return path, err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestProvenanceRebuildAdmissionStorm: with the rebuild semaphore
+// clamped to one slot and a budget that strips every plane, a storm of
+// path queries against distinct sources never runs two tracked
+// rebuilds at once — over-limit leaders fail fast with
+// ErrRebuildSaturated instead of queueing, and succeed on retry.
+// Single-flight joiners of an in-flight build are not admission
+// checked, so only cross-source concurrency contends (run under -race).
+func TestProvenanceRebuildAdmissionStorm(t *testing.T) {
+	ig := graph.CycleWithChords(xrand.New(3), 96, 10)
+	n := ig.NumVertices()
+	sources := make([]int, 6)
+	for i := range sources {
+		sources[i] = i * n / 6
+	}
+	opts := testOptions(6)
+	opts.SampleBoost = 4
+	opts.TrackPaths = true
+	opts.MaxProvenanceBytes = 1 // strips every plane: all path queries rebuild
+	opts.MaxProvenanceRebuilds = 1
+	o, err := NewOracle(WrapGraph(ig), sources, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Warm(); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := make([]Query, len(sources))
+	lengths := make([]int32, len(sources))
+	for i, s := range sources {
+		queries[i] = provQuery(t, ig, o, s, (s+n/3)%n)
+		lengths[i] = o.QueryBatch([]Query{queries[i]})[0].Length
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	failures := make(chan string, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w) + 101)
+			for it := 0; it < 8; it++ {
+				qi := rng.Intn(len(queries))
+				q := queries[qi]
+				path, err := queryPathRetry(o, q)
+				if err != nil {
+					failures <- err.Error()
+					return
+				}
+				if lengths[qi] != NoPath && (len(path) == 0 || int32(len(path)-1) != lengths[qi]) {
+					failures <- "served path length diverged from cached length"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(failures)
+	for f := range failures {
+		t.Fatal(f)
+	}
+	if peak := o.rebuildPeak.Load(); peak > 1 {
+		t.Fatalf("rebuild concurrency peaked at %d with a 1-slot semaphore", peak)
+	}
+	st := o.Stats()
+	if st.ProvenanceRebuildRejects == 0 {
+		t.Fatal("storm never contended the 1-slot semaphore; admission was not exercised")
+	}
+	t.Logf("storm: %d rebuilds, %d admission rejects, peak concurrency %d",
+		st.ProvenanceRebuilds, st.ProvenanceRebuildRejects, o.rebuildPeak.Load())
 }
