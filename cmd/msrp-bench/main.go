@@ -31,6 +31,7 @@ func run() error {
 		experiment = flag.String("experiment", "all", "experiment id (E1..E9) or 'all'")
 		quick      = flag.Bool("quick", false, "shrink sweeps to test sizes")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		record     = flag.String("record", "", "write the experiment's machine-readable record (bench.Envelope JSON) to this path; supported by E20")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func run() error {
 		}
 		return nil
 	}
-	cfg := bench.Config{Quick: *quick}
+	cfg := bench.Config{Quick: *quick, RecordPath: *record}
 	want := strings.ToUpper(*experiment)
 	ran := 0
 	for _, ex := range all {

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"msrp/internal/graph"
+	"msrp/internal/rp"
+	"msrp/internal/xrand"
+)
+
+// NewOverlapInstance builds the E20 workload: the skewed E14 mix (two
+// deep path-tail sources dominating seed enumeration, a crowd of
+// star-leaf sources dominating builds) plus a disconnected far island
+// at the top of the vertex-id space. No source can reach the island,
+// so its centers have zero possible contributors and the readiness
+// analysis must release their §8.2.2 solves at t=0 — which makes the
+// CentersReady counter deterministically positive on any host,
+// single-core included, while the connected mix exercises the
+// partitioned streaming merge under real contention.
+func NewOverlapInstance(quick bool) PipelineInstance {
+	pathN, chords, leaves := 900, 300, 140
+	lightSources := 30
+	island := 96
+	if quick {
+		pathN, chords, leaves = 220, 70, 40
+		lightSources = 14
+		island = 48
+	}
+	mix := graph.PathStarMix(xrand.New(23), pathN, chords, leaves)
+	b := graph.NewBuilder(mix.NumVertices() + island)
+	for e := 0; e < mix.NumEdges(); e++ {
+		u, v := mix.EdgeEndpoints(e)
+		if err := b.AddEdge(int(u), int(v)); err != nil {
+			panic(err)
+		}
+	}
+	for v := mix.NumVertices(); v < mix.NumVertices()+island-1; v++ {
+		if err := b.AddEdge(v, v+1); err != nil {
+			panic(err)
+		}
+	}
+	g := b.MustBuild()
+	sources := []int32{int32(pathN - 1), int32(3 * pathN / 4)}
+	for l := 0; l < lightSources; l++ {
+		sources = append(sources, int32(pathN+l))
+	}
+	return PipelineInstance{
+		G: g, Sources: sources,
+		N: g.NumVertices(), M: g.NumEdges(), Sigma: len(sources),
+	}
+}
+
+// E20Row is one (parallelism, schedule) measurement in the committed
+// BENCH_E20.json record.
+type E20Row struct {
+	N                 int     `json:"n"`
+	M                 int     `json:"m"`
+	Sigma             int     `json:"sigma"`
+	Parallelism       int     `json:"parallelism"`
+	Schedule          string  `json:"schedule"`
+	SolveMillis       float64 `json:"solveMillis"`
+	Identical         bool    `json:"identical"`
+	SeedCount         int     `json:"seedCount"`
+	SeedRehashes      int     `json:"seedRehashes"`
+	PeakSeedPathBytes int64   `json:"peakSeedPathBytes"`
+	CentersReady      int     `json:"centersReady"`
+	CentersOverlapped int     `json:"centersOverlapped"`
+}
+
+// RunE20 — streaming past the seed merge. Sweeps Parallelism over the
+// overlap instance under all three schedules (E14's two barriers plus
+// the readiness-gated streaming default) and reports wall time, the
+// speedup over each barrier, bit-identity against the barrier
+// baseline, the seed-table invariants, and the two overlap counters.
+// Wall-clock gains need multicore hardware — on few-core hosts the
+// identity, rehash, and counter columns are the informative ones, and
+// the speedup acceptance at P≥4 is asserted by TestPastMergeSpeedup on
+// hosts with ≥ 8 CPUs. CentersReady > 0 on the streaming rows is
+// hardware-independent (the far island's centers are released before
+// any source runs) and is asserted unconditionally.
+func RunE20(w io.Writer, cfg Config) error {
+	inst := NewOverlapInstance(cfg.Quick)
+	fmt.Fprintf(w, "  host: GOMAXPROCS=%d NumCPU=%d\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
+
+	t := NewTable("E20: streaming past the seed merge (overlap instance)",
+		"n", "m", "sigma", "parallelism", "schedule", "solve", "speedup_vs_barrier",
+		"speedup_vs_merge_barrier", "identical", "seed_rehashes",
+		"peak_seed_path_bytes", "centers_ready", "centers_overlapped")
+
+	var rows []E20Row
+	var base []*rp.Result
+	for _, par := range []int{1, 2, 4, 8} {
+		var barrierMs, mergeBarrierMs float64
+		for _, schedule := range []string{ScheduleBarrier, ScheduleMergeBarrier, ScheduleStream} {
+			results, stats, d, err := inst.SolveSchedule(par, schedule)
+			if err != nil {
+				return err
+			}
+			identical := true
+			if base == nil {
+				base = results
+			} else {
+				for i := range results {
+					if rp.Diff(base[i], results[i]) != "" {
+						identical = false
+					}
+				}
+			}
+			row := E20Row{
+				N: inst.N, M: inst.M, Sigma: inst.Sigma,
+				Parallelism: par, Schedule: schedule,
+				SolveMillis:       float64(d.Microseconds()) / 1000,
+				Identical:         identical,
+				SeedCount:         stats.SeedCount,
+				SeedRehashes:      stats.SeedRehashes,
+				PeakSeedPathBytes: stats.PeakSeedPathBytes,
+				CentersReady:      stats.CentersReady,
+				CentersOverlapped: stats.CentersOverlapped,
+			}
+			rows = append(rows, row)
+			speedupB, speedupMB := 1.0, 0.0
+			switch schedule {
+			case ScheduleBarrier:
+				barrierMs = row.SolveMillis
+			case ScheduleMergeBarrier:
+				mergeBarrierMs = row.SolveMillis
+				speedupB = barrierMs / row.SolveMillis
+			case ScheduleStream:
+				speedupB = barrierMs / row.SolveMillis
+				speedupMB = mergeBarrierMs / row.SolveMillis
+				if row.CentersReady == 0 {
+					return fmt.Errorf("E20: streaming P=%d reported CentersReady=0; the far island's centers were not released early", par)
+				}
+			}
+			if row.SeedRehashes != 0 {
+				return fmt.Errorf("E20: %s P=%d reported %d seed rehashes; presizing regressed", schedule, par, row.SeedRehashes)
+			}
+			if !identical {
+				return fmt.Errorf("E20: %s P=%d diverged from the barrier baseline", schedule, par)
+			}
+			t.Row(inst.N, inst.M, inst.Sigma, par, schedule, d, speedupB, speedupMB,
+				identical, row.SeedRehashes, row.PeakSeedPathBytes,
+				row.CentersReady, row.CentersOverlapped)
+		}
+	}
+	t.Print(w)
+
+	if cfg.RecordPath != "" {
+		env := NewEnvelope("E20",
+			"Streaming past the seed merge: barrier vs merge-barrier vs readiness-gated overlap",
+			map[string]any{"rows": rows})
+		if err := env.WriteFile(cfg.RecordPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  record written to %s\n", cfg.RecordPath)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"io"
+	"runtime"
+	"testing"
+
+	"msrp/internal/rp"
+)
+
+// TestPastMergeSpeedup asserts the E20 acceptance criteria. Everywhere
+// it checks, on the quick overlap instance, that all three schedules
+// are bit-identical, that the streaming merge never rehashes (the
+// per-partition folds are presized), and that the far island makes
+// CentersReady positive — the hardware-independent proof that §8.2.2
+// work was released before the sources finished. On hosts with ≥ 8
+// CPUs and no race detector it additionally asserts the wall-clock
+// criterion: the streaming schedule beats the merge-barrier schedule
+// at Parallelism=8 on the full-size instance.
+func TestPastMergeSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size skewed σ-source solves take seconds")
+	}
+	assertSpeedup := runtime.NumCPU() >= 8 && !raceEnabled
+
+	quick := NewOverlapInstance(true)
+	const p = 2
+	bRes, bStats, _, err := quick.SolveSchedule(p, ScheduleBarrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bStats.SeedCount == 0 {
+		t.Fatal("overlap instance fed nothing into the seed table")
+	}
+	for _, schedule := range []string{ScheduleMergeBarrier, ScheduleStream} {
+		res, stats, _, err := quick.SolveSchedule(p, schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res {
+			if d := rp.Diff(bRes[i], res[i]); d != "" {
+				t.Fatalf("%s differs from barrier for source %d: %s", schedule, quick.Sources[i], d)
+			}
+		}
+		if stats.SeedCount != bStats.SeedCount || stats.SeedRehashes != 0 {
+			t.Fatalf("%s seed table diverged: %d entries %d rehashes, barrier %d entries",
+				schedule, stats.SeedCount, stats.SeedRehashes, bStats.SeedCount)
+		}
+		ready, overlapped := stats.CentersReady, stats.CentersOverlapped
+		if schedule == ScheduleStream {
+			if ready == 0 {
+				t.Error("streaming schedule reported CentersReady=0; island centers were not released early")
+			}
+			// Overlapped (solves actually started early) is scheduling-
+			// dependent — the work-conserving claim order prefers source
+			// stages — so no relation to CentersReady is asserted.
+			if overlapped < 0 {
+				t.Errorf("CentersOverlapped %d negative", overlapped)
+			}
+		} else if ready != 0 || overlapped != 0 {
+			t.Errorf("%s reported overlap counters (%d ready, %d overlapped)", schedule, ready, overlapped)
+		}
+	}
+
+	// The full E20 harness must run end to end at quick size (it
+	// re-asserts identity, rehashes, and readiness internally).
+	if err := RunE20(io.Discard, Config{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !assertSpeedup {
+		t.Skipf("NumCPU=%d race=%v: skipping the wall-clock speedup assertion (needs >= 8 CPUs, no -race)",
+			runtime.NumCPU(), raceEnabled)
+	}
+	inst := NewOverlapInstance(false)
+	_, _, mbTime, err := inst.SolveSchedule(8, ScheduleMergeBarrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, streamTime, err := inst.SolveSchedule(8, ScheduleStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(mbTime) / float64(streamTime)
+	t.Logf("n=%d m=%d σ=%d: merge-barrier %v, streaming %v at P=8, speedup %.2fx",
+		inst.N, inst.M, inst.Sigma, mbTime, streamTime, speedup)
+	if speedup < 1.02 {
+		t.Fatalf("streaming solve did not beat the merge-barrier schedule at P=8: %.2fx (merge-barrier %v, streaming %v)",
+			speedup, mbTime, streamTime)
+	}
+}
+
+// BenchmarkPastMergeSolve benchmarks the three schedules on the quick
+// overlap instance (go test -bench PastMerge). CI's bench smoke runs
+// one iteration of each, so the streaming path is exercised on an
+// uninstrumented build every push.
+func BenchmarkPastMergeSolve(b *testing.B) {
+	inst := NewOverlapInstance(true)
+	for _, cfg := range []struct {
+		name     string
+		par      int
+		schedule string
+	}{
+		{"barrier_p1", 1, ScheduleBarrier},
+		{"merge_barrier_p1", 1, ScheduleMergeBarrier},
+		{"stream_p1", 1, ScheduleStream},
+		{"merge_barrier_p8", 8, ScheduleMergeBarrier},
+		{"stream_p8", 8, ScheduleStream},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := inst.SolveSchedule(cfg.par, cfg.schedule); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

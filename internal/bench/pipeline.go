@@ -52,11 +52,46 @@ func NewPipelineInstance(quick bool) PipelineInstance {
 }
 
 // Solve runs the full multi-source preprocessing at the given engine
-// parallelism on either schedule.
+// parallelism on either of E14's two schedules. barrier=false keeps
+// its original meaning — the per-source pipeline that still stops the
+// world at the seed merge — so E14's measurements stay comparable
+// across records now that the solver's default schedule streams past
+// the merge (E20 sweeps all three).
 func (inst PipelineInstance) Solve(parallelism int, barrier bool) ([]*rp.Result, *msrp.Stats, time.Duration, error) {
+	if barrier {
+		return inst.SolveSchedule(parallelism, ScheduleBarrier)
+	}
+	return inst.SolveSchedule(parallelism, ScheduleMergeBarrier)
+}
+
+// Schedule names for SolveSchedule, in increasing overlap order.
+const (
+	// ScheduleBarrier: all builds, then all enumerations, then the
+	// flat merge, then all §8.2.2 center solves.
+	ScheduleBarrier = "barrier"
+	// ScheduleMergeBarrier: per-source build→enumerate pipelining, but
+	// the seed merge is still a stop-the-world fold and §8.2.2 waits
+	// for it.
+	ScheduleMergeBarrier = "merge-barrier"
+	// ScheduleStream: the solver default — partitioned streaming merge
+	// with readiness-gated §8.2.2 overlap.
+	ScheduleStream = "stream"
+)
+
+// SolveSchedule runs the full multi-source preprocessing at the given
+// engine parallelism under the named schedule.
+func (inst PipelineInstance) SolveSchedule(parallelism int, schedule string) ([]*rp.Result, *msrp.Stats, time.Duration, error) {
 	p := mild(23, inst.N, inst.Sigma)
 	p.Parallelism = parallelism
-	p.BarrierPipeline = barrier
+	switch schedule {
+	case ScheduleBarrier:
+		p.BarrierPipeline = true
+	case ScheduleMergeBarrier:
+		p.SeedMergeBarrier = true
+	case ScheduleStream:
+	default:
+		return nil, nil, 0, fmt.Errorf("bench: unknown schedule %q", schedule)
+	}
 	var results []*rp.Result
 	var stats *msrp.Stats
 	var err error

@@ -1,0 +1,132 @@
+package cuckoo
+
+// Partitioned is a family of cuckoo tables routed by high key bits —
+// the §8.2.1 streaming merge's per-center-partition targets. The seed
+// key leads with the center id (packCRE in internal/msrp), so routing
+// on a shift of the key partitions the table by center: every key of
+// one center lands in one partition, and a partition can be frozen —
+// fully merged and safe for lock-free reads — as soon as the sources
+// that can touch its centers have all retired, while other partitions
+// are still receiving entries.
+//
+// Partitioned itself is deliberately dumb about concurrency: each
+// member Table keeps the single-writer contract, and the caller (the
+// solve's retire/freeze protocol) guarantees a partition is written by
+// exactly one goroutine at a time and only read after its freeze is
+// published. What Partitioned adds is the routing and the aggregate
+// views (Len, Bytes, Rehashes, Range, Fingerprint) that let the rest
+// of the stack treat the family as one seed table.
+type Partitioned struct {
+	tables []*Table
+	shift  uint
+}
+
+// NewPartitioned returns a family of `parts` empty tables routed by
+// key >> shift (values at or beyond parts clamp into the last
+// partition, so a conservative shift never loses entries). Each table
+// starts at minimum capacity; callers presize per partition with
+// Reserve on the member tables before their bulk fill.
+func NewPartitioned(parts int, shift uint) *Partitioned {
+	if parts < 1 {
+		parts = 1
+	}
+	p := &Partitioned{tables: make([]*Table, parts), shift: shift}
+	for i := range p.tables {
+		p.tables[i] = New(0)
+	}
+	return p
+}
+
+// Parts returns the partition count.
+func (p *Partitioned) Parts() int { return len(p.tables) }
+
+// Shift returns the routing shift (partition index = key >> Shift,
+// clamped).
+func (p *Partitioned) Shift() uint { return p.shift }
+
+// Part returns the partition index for key.
+func (p *Partitioned) Part(key uint64) int {
+	i := key >> p.shift
+	if i >= uint64(len(p.tables)) {
+		return len(p.tables) - 1
+	}
+	return int(i)
+}
+
+// Table returns the partition table at index i for direct access
+// (presizing, bulk MinPut during a freeze fold).
+func (p *Partitioned) Table(i int) *Table { return p.tables[i] }
+
+// Get returns the value stored under key: one shift plus the member
+// table's two probes, so the worst-case O(1) lookup contract (Lemma 5)
+// is preserved.
+func (p *Partitioned) Get(key uint64) (int32, bool) {
+	return p.tables[p.Part(key)].Get(key)
+}
+
+// GetOr returns the stored value or def when absent.
+func (p *Partitioned) GetOr(key uint64, def int32) int32 {
+	if v, ok := p.Get(key); ok {
+		return v
+	}
+	return def
+}
+
+// Len sums the member tables' entry counts.
+func (p *Partitioned) Len() int {
+	n := 0
+	for _, t := range p.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// Bytes sums the member tables' slot-array footprints.
+func (p *Partitioned) Bytes() int64 {
+	var b int64
+	for _, t := range p.tables {
+		b += t.Bytes()
+	}
+	return b
+}
+
+// Rehashes sums the member tables' rebuild counts — the same cascade
+// observability as Table.Rehashes, summed over the family.
+func (p *Partitioned) Rehashes() int {
+	n := 0
+	for _, t := range p.tables {
+		n += t.Rehashes()
+	}
+	return n
+}
+
+// Range calls fn for every entry, walking partitions in index order
+// (within a partition the member table's order applies) until fn
+// returns false.
+func (p *Partitioned) Range(fn func(key uint64, value int32) bool) {
+	for _, t := range p.tables {
+		stopped := false
+		t.Range(func(key uint64, value int32) bool {
+			if !fn(key, value) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// Fingerprint folds the member tables' layout fingerprints in
+// partition order: two Partitioned tables agree iff every partition is
+// slot-for-slot identical. The streaming-merge determinism tests
+// compare this across worker counts.
+func (p *Partitioned) Fingerprint() uint64 {
+	h := uint64(len(p.tables))*0x9e3779b97f4a7c15 + uint64(p.shift)
+	for _, t := range p.tables {
+		h = mixPair(h, t.Fingerprint())
+	}
+	return h
+}

@@ -1,0 +1,124 @@
+package cuckoo
+
+import (
+	"testing"
+
+	"msrp/internal/xrand"
+)
+
+// TestPartitionedRoutesAndAggregates: every key is found again through
+// the partitioned view, the aggregates match a flat reference table,
+// and routing really spreads keys across partitions.
+func TestPartitionedRoutesAndAggregates(t *testing.T) {
+	const parts = 8
+	const shift = 61 // top 3 bits route
+	p := NewPartitioned(parts, shift)
+	flat := New(0)
+	rng := xrand.New(7)
+	want := make(map[uint64]int32)
+	for i := 0; i < 4000; i++ {
+		k := rng.Uint64()
+		v := int32(rng.Intn(1 << 20))
+		p.Table(p.Part(k)).MinPut(k, v)
+		flat.MinPut(k, v)
+		if old, ok := want[k]; !ok || v < old {
+			want[k] = v
+		}
+	}
+	if p.Len() != flat.Len() || p.Len() != len(want) {
+		t.Fatalf("Len: partitioned %d, flat %d, reference %d", p.Len(), flat.Len(), len(want))
+	}
+	for k, v := range want {
+		if got, ok := p.Get(k); !ok || got != v {
+			t.Fatalf("Get(%x) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if p.GetOr(0xdeadbeef, -7) != -7 {
+		t.Fatal("GetOr on an absent key did not return the default")
+	}
+	occupied := 0
+	for i := 0; i < parts; i++ {
+		if p.Table(i).Len() > 0 {
+			occupied++
+		}
+	}
+	if occupied < 2 {
+		t.Fatalf("routing degenerated: %d of %d partitions occupied", occupied, parts)
+	}
+	seen := 0
+	p.Range(func(k uint64, v int32) bool {
+		if want[k] != v {
+			t.Fatalf("Range visited (%x,%d), reference has %d", k, v, want[k])
+		}
+		seen++
+		return true
+	})
+	if seen != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", seen, len(want))
+	}
+	if b := p.Bytes(); b <= 0 {
+		t.Fatalf("Bytes = %d", b)
+	}
+}
+
+// TestPartitionedClampsOverflow: keys whose routed index exceeds the
+// partition count land in the last partition instead of panicking.
+func TestPartitionedClampsOverflow(t *testing.T) {
+	p := NewPartitioned(4, 0) // partition index = whole key: everything clamps
+	p.Table(p.Part(^uint64(0))).Put(^uint64(0), 9)
+	if got := p.Part(^uint64(0)); got != 3 {
+		t.Fatalf("Part(max) = %d, want 3", got)
+	}
+	if v, ok := p.Get(^uint64(0)); !ok || v != 9 {
+		t.Fatalf("Get after clamp = %d,%v", v, ok)
+	}
+}
+
+// TestFingerprintLayoutSensitivity: identical build sequences agree,
+// and the fingerprint distinguishes both different contents and the
+// same contents laid out differently (different insertion order after
+// a growth rehash), which is exactly the sensitivity the
+// deterministic-layout merge tests rely on.
+func TestFingerprintLayoutSensitivity(t *testing.T) {
+	build := func(order []uint64) *Table {
+		tb := New(0)
+		for _, k := range order {
+			tb.Put(k, int32(k&0xffff))
+		}
+		return tb
+	}
+	keys := make([]uint64, 200)
+	rng := xrand.New(11)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	a, b := build(keys), build(keys)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical build sequences produced different fingerprints")
+	}
+	rev := make([]uint64, len(keys))
+	for i, k := range keys {
+		rev[len(keys)-1-i] = k
+	}
+	c := build(rev)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("reversed insertion order produced the same fingerprint (layout not captured)")
+	}
+	d := build(keys[:len(keys)-1])
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("different contents produced the same fingerprint")
+	}
+
+	pa, pb := NewPartitioned(4, 62), NewPartitioned(4, 62)
+	for _, k := range keys {
+		pa.Table(pa.Part(k)).MinPut(k, int32(k&0xffff))
+		pb.Table(pb.Part(k)).MinPut(k, int32(k&0xffff))
+	}
+	if pa.Fingerprint() != pb.Fingerprint() {
+		t.Fatal("identical partitioned builds produced different fingerprints")
+	}
+	pb.Table(0).Put(keys[0], -1)
+	if pa.Fingerprint() == pb.Fingerprint() {
+		t.Fatal("partitioned fingerprint missed a value change")
+	}
+}

@@ -24,11 +24,24 @@ type Tolerance struct {
 	// designed to saturate must keep rejecting, one designed to fit
 	// must keep fitting.
 	RejectionBand float64
+	// WarmFactor and WarmFloorMillis band the run-level warm-up wall
+	// clock (Result.WarmMillis) the same way LatencyFactor bands the
+	// per-wave percentiles. The warm-up runs the full §8 batch
+	// pipeline, so this is the committed record's guard on the solve
+	// schedule itself: a refactor that quietly reintroduces a
+	// stop-the-world barrier shows up here even when the serving waves
+	// (all cache hits) stay fast. Zero WarmFactor disables the check,
+	// as does a baseline without a warm-up phase.
+	WarmFactor      float64
+	WarmFloorMillis float64
 }
 
 // DefaultTolerance is the band the CI gate runs with.
 func DefaultTolerance() Tolerance {
-	return Tolerance{LatencyFactor: 3, LatencyFloorMillis: 100, RejectionBand: 0.2}
+	return Tolerance{
+		LatencyFactor: 3, LatencyFloorMillis: 100, RejectionBand: 0.2,
+		WarmFactor: 3, WarmFloorMillis: 500,
+	}
 }
 
 // LoadBaseline reads a committed BENCH_*.json envelope and decodes its
@@ -58,6 +71,13 @@ func LoadBaseline(path string) (*Result, error) {
 // the fresh run are violations (the scenario shrank).
 func Compare(fresh, base *Result, tol Tolerance) []string {
 	var violations []string
+	if tol.WarmFactor > 0 && base.WarmMillis > 0 {
+		if bound := base.WarmMillis*tol.WarmFactor + tol.WarmFloorMillis; fresh.WarmMillis > bound {
+			violations = append(violations, fmt.Sprintf(
+				"warm-up %.0fms exceeds %.0fms (baseline %.0fms × %.1f + %.0fms)",
+				fresh.WarmMillis, bound, base.WarmMillis, tol.WarmFactor, tol.WarmFloorMillis))
+		}
+	}
 	freshByName := make(map[string]*WaveResult, len(fresh.Waves))
 	for i := range fresh.Waves {
 		freshByName[fresh.Waves[i].Name] = &fresh.Waves[i]

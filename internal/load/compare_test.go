@@ -60,6 +60,35 @@ func TestCompareNewServerErrors(t *testing.T) {
 	}
 }
 
+func TestCompareWarmMillisBand(t *testing.T) {
+	base := mkResult(wave("a", 10, 50, 80, 0))
+	base.WarmMillis = 1000
+	fresh := mkResult(wave("a", 10, 50, 80, 0))
+
+	fresh.WarmMillis = 3400 // inside 1000×3 + 500
+	if v := Compare(fresh, base, DefaultTolerance()); len(v) != 0 {
+		t.Fatalf("expected no violations inside the warm band, got %v", v)
+	}
+	fresh.WarmMillis = 3501
+	v := Compare(fresh, base, DefaultTolerance())
+	if len(v) != 1 || !strings.Contains(v[0], "warm-up") {
+		t.Fatalf("expected the warm-up violation, got %v", v)
+	}
+
+	// A baseline without a warm-up phase (or a disabled factor) never
+	// flags, whatever the fresh run took.
+	base.WarmMillis = 0
+	if v := Compare(fresh, base, DefaultTolerance()); len(v) != 0 {
+		t.Fatalf("warm-less baseline flagged: %v", v)
+	}
+	base.WarmMillis = 1000
+	tol := DefaultTolerance()
+	tol.WarmFactor = 0
+	if v := Compare(fresh, base, tol); len(v) != 0 {
+		t.Fatalf("disabled warm factor flagged: %v", v)
+	}
+}
+
 func TestLoadBaselineRoundTrip(t *testing.T) {
 	res := mkResult(wave("a", 10, 50, 80, 0.1))
 	env := bench.NewEnvelope("E16", "t", res)

@@ -1,13 +1,27 @@
 package msrp
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"msrp/internal/cuckoo"
 	"msrp/internal/engine"
 	"msrp/internal/rp"
 	"msrp/internal/ssrp"
 )
+
+// seedReader is the §8.2.1 seed table as its consumers see it: O(1)
+// worst-case keyed lookups plus the footprint accounting. Both the
+// barriered flat cuckoo.Table and the streaming cuckoo.Partitioned
+// satisfy it, so the §8.2.2 build and the provenance plane are
+// schedule-agnostic.
+type seedReader interface {
+	Get(key uint64) (int32, bool)
+	Len() int
+	Bytes() int64
+}
 
 // Key packing for the (center, landmark, edge) seed table (§8.2.1).
 // 21 bits for each vertex id and 22 for the edge id fit exactly in 64.
@@ -52,12 +66,15 @@ func checkPackable(n, m int) error {
 // each shard's build is deterministic, even the merged table's layout
 // is fixed. The returned rehash count (shards + merge) is the E9/E13
 // cascade observability: with presizing it stays at zero.
-func buildSeedTable(sh *ssrp.Shared, perSrc []*ssrp.PerSource, ctr *Centers) (*cuckoo.Table, int) {
+func buildSeedTable(ctx context.Context, sh *ssrp.Shared, perSrc []*ssrp.PerSource, ctr *Centers) (*cuckoo.Table, int, error) {
 	shards := make([]*cuckoo.Table, len(perSrc))
-	sh.Pool.RunScratch(len(perSrc), func(i int, sc *engine.Scratch) {
+	if err := sh.Pool.RunScratchCtx(ctx, len(perSrc), func(i int, sc *engine.Scratch) {
 		shards[i] = buildSeedShard(perSrc[i], ctr, sc)
-	})
-	return mergeSeedShards(shards)
+	}); err != nil {
+		return nil, 0, err
+	}
+	merged, rehashes := mergeSeedShards(shards)
+	return merged, rehashes, nil
 }
 
 // mergeSeedShards folds the per-source shards into one presized table
@@ -152,26 +169,88 @@ func estimateSeedEntries(ps *ssrp.PerSource, ctr *Centers) int {
 // centerLandmark holds the §8.2.2 output: d(c, r, e) for every center
 // c, landmark r, and edge e among the first Budget(priority(c)) edges
 // of the canonical (T_c) c→r path.
+//
+// Storage is dense: rows are indexed by center position (Centers.Index)
+// and landmark position (lmIdx) instead of the map-of-maps the first
+// implementation used — dCR sits on the assembly's innermost candidate
+// loop, where two map lookups per call were measurable overhead, and
+// dense slots are also what lets the streaming schedule write each
+// center's output from whichever worker popped it, race-free.
 type centerLandmark struct {
 	ctr *Centers
 
-	// rows[c][r][j] = d(c, r, e_j) where e_j is the j-th edge of the
-	// T_c path from c toward r, j < min(budget, |cr|).
-	rows map[int32]map[int32][]int32
+	// lmIdx[v] is v's position in sh.List, -1 for non-landmarks.
+	lmIdx []int32
 
-	// prov[c] retains G_c's parent chains and node decode tables under
-	// Params.TrackPaths (the provenance plane's §8.2.2 layer); empty
+	// rows[ci][li][j] = d(c, r, e_j) for c = ctr.List[ci], r =
+	// sh.List[li], and e_j the j-th edge of the T_c path from c toward
+	// r, j < min(budget, |cr|). nil rows mean r == c or unreachable.
+	rows [][][]int32
+
+	// prov[ci] retains G_c's parent chains and node decode tables under
+	// Params.TrackPaths (the provenance plane's §8.2.2 layer); nil
 	// otherwise.
-	prov map[int32]*auxProv
+	prov []*auxProv
 
-	// Aggregate aux-graph size counters (all G_c combined) for E9.
-	NumNodes int64
-	NumArcs  int64
+	// Aggregate aux-graph size counters (all G_c combined, E9) and the
+	// per-item wall time sum — atomics because the streaming schedule
+	// retires centers from many workers at once.
+	nodes      atomic.Int64
+	arcs       atomic.Int64
+	buildNanos atomic.Int64
+}
+
+// newCenterLandmark allocates the dense §8.2.2 output store; solveOne
+// fills one center's slot at a time.
+func newCenterLandmark(sh *ssrp.Shared, ctr *Centers) *centerLandmark {
+	cl := &centerLandmark{
+		ctr:   ctr,
+		lmIdx: make([]int32, sh.G.NumVertices()),
+		rows:  make([][][]int32, len(ctr.List)),
+		prov:  make([]*auxProv, len(ctr.List)),
+	}
+	for v := range cl.lmIdx {
+		cl.lmIdx[v] = -1
+	}
+	for i, r := range sh.List {
+		cl.lmIdx[r] = int32(i)
+	}
+	return cl
+}
+
+// NumNodes and NumArcs expose the aggregate G_c sizes after the builds
+// have completed.
+func (cl *centerLandmark) NumNodes() int64 { return cl.nodes.Load() }
+func (cl *centerLandmark) NumArcs() int64  { return cl.arcs.Load() }
+
+// BuildTime returns the per-center build wall time summed over items —
+// the StageCenterLandmark measure, comparable across schedules because
+// it is unaffected by how the items interleave with other stages.
+func (cl *centerLandmark) BuildTime() time.Duration {
+	return time.Duration(cl.buildNanos.Load())
+}
+
+// solveOne builds and solves G_c for center index ci, filling the
+// center's dense slot. All written state is owned by ci, so solveOne is
+// safe from any worker and any schedule (barriered fan-out or
+// readiness-gated streaming).
+func (cl *centerLandmark) solveOne(sh *ssrp.Shared, ci int, seed seedReader, sc *engine.Scratch) {
+	start := time.Now()
+	rows, ap, sizes := cl.buildOne(sh, cl.ctr.List[ci], seed, sc)
+	cl.rows[ci] = rows
+	cl.prov[ci] = ap
+	cl.nodes.Add(sizes[0])
+	cl.arcs.Add(sizes[1])
+	cl.buildNanos.Add(time.Since(start).Nanoseconds())
 }
 
 // buildCenterLandmark constructs and solves every per-center auxiliary
-// graph G_c (§8.2.2). Centers are independent, so the stage fans out
-// across Params.Parallelism workers.
+// graph G_c (§8.2.2) as one barriered fan-out — the two barrier
+// schedules' path; the streaming schedule instead feeds solveOne from
+// the ready queue. Centers are independent, so the stage fans out
+// across Params.Parallelism workers, and ctx is observed between
+// centers: a cancelled solve stops after the items already in flight
+// instead of running all |C| Dijkstras to completion.
 //
 // Node space of G_c: [c] (node 0), [r] per landmark, [r,e] per covered
 // (landmark, prefix-edge) pair. Arcs (Lemma 21/22 case analysis):
@@ -183,35 +262,23 @@ type centerLandmark struct {
 //
 // All positions are measured in T_c, where the shared-prefix identity
 // again makes an edge's index the same on every path through it.
-func buildCenterLandmark(sh *ssrp.Shared, ctr *Centers, seed *cuckoo.Table) *centerLandmark {
-	cl := &centerLandmark{
-		ctr:  ctr,
-		rows: make(map[int32]map[int32][]int32, len(ctr.List)),
-		prov: make(map[int32]*auxProv),
+func buildCenterLandmark(ctx context.Context, sh *ssrp.Shared, ctr *Centers, seed seedReader) (*centerLandmark, error) {
+	cl := newCenterLandmark(sh, ctr)
+	if err := sh.Pool.RunScratchCtx(ctx, len(ctr.List), func(i int, sc *engine.Scratch) {
+		cl.solveOne(sh, i, seed, sc)
+	}); err != nil {
+		return nil, err
 	}
-	perCenter := make([]map[int32][]int32, len(ctr.List))
-	provs := make([]*auxProv, len(ctr.List))
-	sizes := make([][2]int64, len(ctr.List))
-	sh.Pool.RunScratch(len(ctr.List), func(i int, sc *engine.Scratch) {
-		perCenter[i], provs[i], sizes[i] = cl.buildOne(sh, ctr.List[i], seed, sc)
-	})
-	for i, c := range ctr.List {
-		cl.rows[c] = perCenter[i]
-		if provs[i] != nil {
-			cl.prov[c] = provs[i]
-		}
-		cl.NumNodes += sizes[i][0]
-		cl.NumArcs += sizes[i][1]
-	}
-	return cl
+	return cl, nil
 }
 
-// buildOne builds and solves G_c, returning the d(c,r,·) rows, the
-// retained provenance (TrackPaths only, else nil), and the graph's
-// (nodes, arcs) size pair. It must not write shared state:
-// buildCenterLandmark runs it concurrently across centers. sc backs the
-// transient arc builder and covered-edge buffers.
-func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed *cuckoo.Table, sc *engine.Scratch) (map[int32][]int32, *auxProv, [2]int64) {
+// buildOne builds and solves G_c, returning the d(c,r,·) rows (dense,
+// indexed by landmark position in sh.List), the retained provenance
+// (TrackPaths only, else nil), and the graph's (nodes, arcs) size pair.
+// It must not write shared state outside c's own slots: both schedules
+// run it concurrently across centers. sc backs the transient arc
+// builder and covered-edge buffers.
+func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed seedReader, sc *engine.Scratch) ([][]int32, *auxProv, [2]int64) {
 	g := sh.G
 	ctr := cl.ctr
 	tc := ctr.Tree[c]
@@ -220,6 +287,7 @@ func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed *cuckoo.Table,
 
 	type lmInfo struct {
 		r        int32
+		li       int32 // r's position in sh.List
 		node     int32
 		base     int32
 		count    int32
@@ -227,11 +295,11 @@ func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed *cuckoo.Table,
 	}
 	infos := make([]lmInfo, 0, len(sh.List))
 	next := int32(1)
-	for _, r := range sh.List {
+	for li, r := range sh.List {
 		if r == c || !tc.Reachable(r) {
 			continue
 		}
-		infos = append(infos, lmInfo{r: r, node: next})
+		infos = append(infos, lmInfo{r: r, li: int32(li), node: next})
 		next++
 	}
 	for idx := range infos {
@@ -296,7 +364,7 @@ func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed *cuckoo.Table,
 	// the CSR and the Dijkstra result live in the worker scratch.
 	res := bld.FinalizeScratch(sc).RunScratch(0, sc)
 
-	rows := make(map[int32][]int32, len(infos))
+	rows := make([][]int32, len(sh.List))
 	for idx := range infos {
 		in := &infos[idx]
 		row := make([]int32, in.count)
@@ -308,7 +376,7 @@ func (cl *centerLandmark) buildOne(sh *ssrp.Shared, c int32, seed *cuckoo.Table,
 				row[j] = int32(d)
 			}
 		}
-		rows[in.r] = row
+		rows[in.li] = row
 	}
 	var ap *auxProv
 	if sh.Params.TrackPaths {
@@ -353,9 +421,22 @@ func (cl *centerLandmark) dCR(sh *ssrp.Shared, c, r int32, e int32) int32 {
 		return rp.Inf
 	}
 	j := tc.Dist[child] - 1
-	row := cl.rows[c][r]
+	ci, li := cl.ctr.Index(c), cl.lmIdx[r]
+	if ci < 0 || li < 0 {
+		return rp.Inf
+	}
+	row := cl.rows[ci][li]
 	if j < 0 || j >= int32(len(row)) {
 		return rp.Inf
 	}
 	return row[j]
+}
+
+// provAt returns center c's retained §8.2.2 provenance, or nil.
+func (cl *centerLandmark) provAt(c int32) *auxProv {
+	ci := cl.ctr.Index(c)
+	if ci < 0 {
+		return nil
+	}
+	return cl.prov[ci]
 }

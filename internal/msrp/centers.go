@@ -27,6 +27,11 @@ type Centers struct {
 	// budget(k) edges of the c→r path. Lemma 18 guarantees (w.h.p.)
 	// that the edges the assembly actually needs fall inside.
 	budget []int32
+
+	// index maps a vertex id to its position in List (-1 for
+	// non-centers): the dense replacement for the map-of-maps lookups the
+	// §8.2.2 rows used to pay on every dCR call.
+	index []int32
 }
 
 // budgetFactor is the paper's "suitably chosen constant ℓ ≥ 2". The
@@ -42,6 +47,13 @@ func newCenters(sh *ssrp.Shared, rng *xrand.RNG) *Centers {
 		Levels: sample.New(rng, n, sh.Sigma(), sh.Params.SampleBoost, sh.Sources),
 	}
 	c.List = c.Levels.Union()
+	c.index = make([]int32, n)
+	for v := range c.index {
+		c.index[v] = -1
+	}
+	for i, v := range c.List {
+		c.index[v] = int32(i)
+	}
 	forest := bfs.NewForest(g, c.List, sh.Pool)
 	c.Tree = forest.Trees
 	c.Anc = ssrp.BuildAncestries(g, c.List, c.Tree, sh.Pool)
@@ -65,6 +77,9 @@ func (c *Centers) Priority(v int32) int { return c.Levels.MaxLevel(v) }
 
 // IsCenter reports whether v is a center of any priority.
 func (c *Centers) IsCenter(v int32) bool { return c.Levels.IsMember(v) }
+
+// Index returns v's position in List, or -1 when v is not a center.
+func (c *Centers) Index(v int32) int32 { return c.index[v] }
 
 // Budget returns the per-priority edge budget.
 func (c *Centers) Budget(priority int) int32 {

@@ -85,16 +85,27 @@ type Stats struct {
 	SweepImproved int64
 
 	// Stage-latency breakdown (the ROADMAP's "load shedding informed by
-	// measured build latency"). The per-source stages — build (§7.1 +
-	// §8.1), seed enumeration (§8.2.1), assembly — record wall time
-	// summed over items, a measure that stays comparable when the
-	// pipelined schedule overlaps the stages; the seed merge and §8.2.2
-	// record plain wall time of their barriered runs.
+	// measured build latency"). Every stage records wall time summed
+	// over its items — per-source builds, per-source seed enumerations,
+	// per-source merge work (scatter + partition folds in the streaming
+	// schedule; the single fold pass under a merge barrier), per-center
+	// §8.2.2 builds, per-source assembly — a measure that stays
+	// comparable when schedules overlap the stages arbitrarily.
 	StagePerSourceBuild time.Duration
 	StageSeedEnumerate  time.Duration
 	StageSeedMerge      time.Duration
 	StageCenterLandmark time.Duration
 	StageAssembly       time.Duration
+
+	// Streaming-schedule readiness observability (zero under the
+	// barrier schedules). CentersReady counts centers whose §8.2.2
+	// build became runnable while other sources were still unretired —
+	// how much §8.2.2 work the readiness analysis released ahead of the
+	// last source. CentersOverlapped counts §8.2.2 builds that started
+	// while some source's build/enumerate/merge work was still running —
+	// the overlap the old stop-the-world merge barrier made impossible.
+	CentersReady      int
+	CentersOverlapped int
 
 	// PeakSeedPathBytes is the high-water mark of live §7.1
 	// path-expansion state (Dijkstra parent chains + [t,e] target maps)
@@ -170,13 +181,13 @@ func SolveShared(sh *ssrp.Shared) (*Solution, error) {
 //
 // With Params.TrackPaths the solve additionally retains the provenance
 // plane — each source's §7.1 witness snapshot is taken between its
-// seed-shard enumeration and ReleasePathState (in both the pipelined
-// and barrier schedules, so the Θ(P·aux) pre-merge peak of the
-// untracked pipelined solve is untouched), the §8.1/§8.2.2 parent
-// chains and the seed table are kept, and every PerSource gets the
-// plane installed as its landmark-path expander. Tracking is purely
-// observational: lengths are bit-identical with it on or off, at any
-// worker count, in either schedule.
+// seed-shard enumeration and ReleasePathState (in every schedule, so
+// the Θ(P·aux) pre-merge peak of the untracked pipelined solve is
+// untouched), the §8.1/§8.2.2 parent chains and the merged seed table
+// are kept (the partitioned table, under the streaming schedule), and
+// every PerSource gets the plane installed as its landmark-path
+// expander. Tracking is purely observational: lengths are bit-identical
+// with it on or off, at any worker count, in any schedule.
 func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) (*Solution, error) {
 	g, sources, p := sh.G, sh.Sources, sh.Params
 	if err := checkPackable(g.NumVertices(), g.NumEdges()); err != nil {
@@ -243,16 +254,57 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) (*Solution, error)
 		liveSeedPathBytes.Add(-perSrc[i].Small.ReleasePathState())
 		enumNanos.Add(time.Since(start).Nanoseconds())
 	}
+	// Three schedules, bit-identical outputs (the merge is commutative
+	// and idempotent; §8.2.2 state is index-owned):
+	//
+	//   BarrierPipeline — all builds, then all enumerations, then the
+	//   flat merge, then the barriered §8.2.2 fan-out (the pre-pipeline
+	//   schedule, kept for E14/E20 and the bit-identity tests).
+	//
+	//   SeedMergeBarrier — build→enumerate pipelined per source, but
+	//   the merge still stops the world and §8.2.2 waits behind it
+	//   (the PR 4 schedule, the E20 comparison point).
+	//
+	//   default (streaming) — build→enumerate pipelined per source;
+	//   each retiring source scatters its shard into per-center-
+	//   partition staging buckets; a partition whose registered
+	//   contributors have all retired is frozen and its centers' §8.2.2
+	//   builds drain through the engine's ready queue while other
+	//   sources are still building, enumerating, or folding. The only
+	//   ordering left is the true data dependency: a center's seed
+	//   entries before that center's G_c.
+	var cl *centerLandmark
+	var seed seedReader
 	var err error
-	if p.BarrierPipeline {
-		// The pre-pipeline schedule, kept for the E14 comparison and
-		// the bit-identity regression tests: all builds, then all
-		// enumerations.
+	switch {
+	case p.BarrierPipeline:
 		if err = sh.Pool.RunScratchCtx(ctx, len(sources), buildOne); err == nil {
 			err = sh.Pool.RunScratchCtx(ctx, len(sources), enumerateOne)
 		}
-	} else {
+	case p.SeedMergeBarrier:
 		err = sh.Pool.PipelineScratchCtx(ctx, len(sources), buildOne, enumerateOne)
+	default:
+		pl := newSeedPlan(sh, ctr)
+		cl = newCenterLandmark(sh, ctr)
+		err = sh.Pool.PipelineReadyScratchCtx(ctx, len(sources), buildOne,
+			func(i int, sc *engine.Scratch) {
+				enumerateOne(i, sc)
+				pl.retire(i, shards[i])
+				shards[i] = nil // staged into the plan's buckets now
+				pl.noteSourceDone()
+			},
+			pl.rq,
+			func(ci int, sc *engine.Scratch) {
+				pl.noteCenterStart()
+				cl.solveOne(sh, ci, pl.parts, sc)
+			})
+		if err == nil {
+			seed = pl.parts
+			stats.StageSeedMerge = time.Duration(pl.mergeNanos.Load())
+			stats.SeedRehashes = pl.rehashes()
+			stats.CentersReady = int(pl.centersReady.Load())
+			stats.CentersOverlapped = int(pl.centersOverlapped.Load())
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -267,21 +319,25 @@ func SolveSharedContext(ctx context.Context, sh *ssrp.Shared) (*Solution, error)
 	stats.StageSeedEnumerate = time.Duration(enumNanos.Load())
 	stats.PeakSeedPathBytes = peakSeedPathBytes.Load()
 
-	// Shard merge (the one barrier the dependencies require), then
-	// §8.2.2; ctx is re-checked between stages.
-	mergeStart := time.Now()
-	seed, seedRehashes := mergeSeedShards(shards)
-	stats.StageSeedMerge = time.Since(mergeStart)
-	stats.SeedCount = seed.Len()
-	stats.SeedRehashes = seedRehashes
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if cl == nil {
+		// Barrier schedules: the flat merge, then the barriered §8.2.2
+		// fan-out; ctx is re-checked between stages.
+		mergeStart := time.Now()
+		flat, seedRehashes := mergeSeedShards(shards)
+		seed = flat
+		stats.StageSeedMerge = time.Since(mergeStart)
+		stats.SeedRehashes = seedRehashes
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cl, err = buildCenterLandmark(ctx, sh, ctr, seed); err != nil {
+			return nil, err
+		}
 	}
-	clStart := time.Now()
-	cl := buildCenterLandmark(sh, ctr, seed)
-	stats.StageCenterLandmark = time.Since(clStart)
-	stats.CLNodes = cl.NumNodes
-	stats.CLArcs = cl.NumArcs
+	stats.SeedCount = seed.Len()
+	stats.StageCenterLandmark = cl.BuildTime()
+	stats.CLNodes = cl.NumNodes()
+	stats.CLArcs = cl.NumArcs()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package msrp
 
 import (
+	"context"
 	"testing"
 
 	"msrp/internal/graph"
@@ -321,7 +322,10 @@ func TestSeedTablePathsAreSound(t *testing.T) {
 		ps.BuildSmallNear()
 		perSrc = append(perSrc, ps)
 	}
-	seed, _ := buildSeedTable(sh, perSrc, ctr)
+	seed, _, err := buildSeedTable(context.Background(), sh, perSrc, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	count := 0
 	seed.Range(func(key uint64, w int32) bool {
 		c := int32(key >> (vertexBits + edgeBits))

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"msrp/internal/bfs"
-	"msrp/internal/cuckoo"
 	"msrp/internal/rp"
 	"msrp/internal/ssrp"
 )
@@ -46,14 +45,18 @@ type Provenance struct {
 	perSrc []*ssrp.PerSource
 	scs    []*sourceCenter
 	cl     *centerLandmark
-	seed   *cuckoo.Table
+	// seed is the merged §8.2.1 table behind the seedReader interface:
+	// a flat cuckoo.Table from the barrier schedules, a
+	// cuckoo.Partitioned from the streaming one — the explain pass only
+	// needs the O(1) Get either provides.
+	seed seedReader
 }
 
 // newProvenance bundles the retained artifacts after the pipeline
 // stages have run. It installs itself as every source's landmark-path
 // expander.
 func newProvenance(sh *ssrp.Shared, ctr *Centers, perSrc []*ssrp.PerSource,
-	scs []*sourceCenter, cl *centerLandmark, seed *cuckoo.Table) *Provenance {
+	scs []*sourceCenter, cl *centerLandmark, seed seedReader) *Provenance {
 	pv := &Provenance{sh: sh, ctr: ctr, perSrc: perSrc, scs: scs, cl: cl, seed: seed}
 	for i := range perSrc {
 		si := i
@@ -268,7 +271,7 @@ func (pv *Provenance) expandCR(c, r, e int32) ([]int32, error) {
 	if !pv.ctr.Anc[c].EdgeOnRootPath(pv.sh.G, e, r) {
 		return tc.PathTo(r), nil // canonical c→r avoids e outright
 	}
-	ap := pv.cl.prov[c]
+	ap := pv.cl.provAt(c)
 	if ap == nil {
 		return nil, fmt.Errorf("msrp: §8.2.2 provenance missing (bug: solve did not track)")
 	}

@@ -1,6 +1,7 @@
 package msrp
 
 import (
+	"context"
 	"testing"
 
 	"msrp/internal/engine"
@@ -27,7 +28,10 @@ func buildSeedForTest(t *testing.T, g *graph.Graph, sources []int32, par int) (m
 		perSrc[i] = sh.NewPerSource(s)
 		perSrc[i].BuildSmallNear()
 	}
-	seed, rehashes := buildSeedTable(sh, perSrc, ctr)
+	seed, rehashes, err := buildSeedTable(context.Background(), sh, perSrc, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dump := make(map[uint64]int32, seed.Len())
 	seed.Range(func(key uint64, val int32) bool {
 		dump[key] = val

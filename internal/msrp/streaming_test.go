@@ -1,0 +1,297 @@
+package msrp
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"msrp/internal/cuckoo"
+	"msrp/internal/graph"
+	"msrp/internal/rp"
+	"msrp/internal/ssrp"
+	"msrp/internal/xrand"
+)
+
+// scheduleNames enumerates the three solve schedules for sweep tests.
+var scheduleNames = []string{"barrier", "merge-barrier", "stream"}
+
+func paramsForSchedule(seed uint64, par int, schedule string, track bool) ssrp.Params {
+	p := testParams(seed)
+	p.Parallelism = par
+	p.TrackPaths = track
+	switch schedule {
+	case "barrier":
+		p.BarrierPipeline = true
+	case "merge-barrier":
+		p.SeedMergeBarrier = true
+	case "stream":
+	default:
+		panic("unknown schedule " + schedule)
+	}
+	return p
+}
+
+// solveWithSchedule runs the full solve under the named schedule and
+// returns the Solution (so tests can reach the provenance plane's seed
+// table) plus the results.
+func solveWithSchedule(t *testing.T, g *graph.Graph, sources []int32, par int, schedule string, track bool) *Solution {
+	t.Helper()
+	sh, err := ssrp.NewShared(g, sources, paramsForSchedule(77, par, schedule, track))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveShared(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+// TestSchedulesBitIdentical is the past-the-merge acceptance sweep:
+// for every family, the three schedules (pre-pipeline barrier, PR 4
+// pipeline with merge barrier, readiness-gated streaming) return
+// bit-identical results at Parallelism ∈ {1, 2, 8}, with path tracking
+// off and on. CI runs this under -race, so it doubles as the data-race
+// proof for the scatter/freeze hand-off and the ready-queue drain.
+func TestSchedulesBitIdentical(t *testing.T) {
+	for _, f := range pipelineFamilies() {
+		t.Run(f.name, func(t *testing.T) {
+			baseline := solveWithSchedule(t, f.g, f.sources, 1, "barrier", false)
+			for _, par := range []int{1, 2, 8} {
+				for _, schedule := range scheduleNames {
+					for _, track := range []bool{false, true} {
+						sol := solveWithSchedule(t, f.g, f.sources, par, schedule, track)
+						for i := range sol.Results {
+							if d := rp.Diff(baseline.Results[i], sol.Results[i]); d != "" {
+								t.Fatalf("P=%d %s track=%v: source %d differs: %s",
+									par, schedule, track, f.sources[i], d)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamingMergeContentsAndLayout pins the streaming merge's two
+// determinism contracts. Contents: the partitioned table holds exactly
+// the entries of the sequential flat merge (MinPut is commutative and
+// idempotent, so scatter order cannot matter). Layout: the partition
+// fold order is a pure function of the instance, so the Partitioned
+// fingerprint — which is sensitive to slot-level layout — is identical
+// for the sequential reference fold and the streaming solve at every
+// worker count.
+func TestStreamingMergeContentsAndLayout(t *testing.T) {
+	for _, f := range pipelineFamilies() {
+		t.Run(f.name, func(t *testing.T) {
+			p := testParams(77)
+			sh, err := ssrp.NewShared(f.g, f.sources, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctr := newCenters(sh, sh.DeriveRNG())
+			shards := make([]*cuckoo.Table, len(f.sources))
+			for i, s := range f.sources {
+				ps := sh.NewPerSource(s)
+				ps.BuildSmallNear()
+				shards[i] = buildSeedShard(ps, ctr, engineScratch())
+			}
+			flat, _ := mergeSeedShards(shards)
+			ref := mergeSeedShardsPartitioned(sh, ctr, shards)
+
+			if ref.Len() != flat.Len() {
+				t.Fatalf("partitioned merge has %d entries, flat merge %d", ref.Len(), flat.Len())
+			}
+			flat.Range(func(key uint64, val int32) bool {
+				if got, ok := ref.Get(key); !ok || got != val {
+					t.Fatalf("key %x: partitioned %d,%v, flat %d", key, got, ok, val)
+				}
+				return true
+			})
+
+			// The streaming solve's retained seed table (TrackPaths keeps
+			// it) must reproduce the reference fold slot for slot at every
+			// worker count.
+			want := ref.Fingerprint()
+			for _, par := range []int{1, 2, 8} {
+				sol := solveWithSchedule(t, f.g, f.sources, par, "stream", true)
+				part, ok := sol.Prov.seed.(*cuckoo.Partitioned)
+				if !ok {
+					t.Fatalf("P=%d: streaming solve retained %T, want *cuckoo.Partitioned", par, sol.Prov.seed)
+				}
+				if got := part.Fingerprint(); got != want {
+					t.Fatalf("P=%d: partitioned layout fingerprint %x, reference %x", par, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSeedPlanReadinessSound verifies the contribution map's soundness
+// directly: every entry a source actually enumerates belongs to a
+// center (and partition) the readiness analysis registered that source
+// for. An unregistered entry would mean a partition could freeze while
+// a future contributor was still running — the exact unsoundness the
+// scatter-time panic guards in production.
+func TestSeedPlanReadinessSound(t *testing.T) {
+	for _, f := range pipelineFamilies() {
+		t.Run(f.name, func(t *testing.T) {
+			sh, err := ssrp.NewShared(f.g, f.sources, testParams(77))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctr := newCenters(sh, sh.DeriveRNG())
+			pl := newSeedPlan(sh, ctr)
+			entries := 0
+			for i, s := range f.sources {
+				ps := sh.NewPerSource(s)
+				ps.BuildSmallNear()
+				shard := buildSeedShard(ps, ctr, engineScratch())
+				centers, parts := pl.srcCenters[i], pl.srcParts[i]
+				shard.Range(func(key uint64, _ int32) bool {
+					entries++
+					c := int32(key >> (vertexBits + edgeBits))
+					ci := ctr.Index(c)
+					if ci < 0 {
+						t.Fatalf("source %d: entry %x names non-center %d", s, key, c)
+					}
+					at := sort.Search(len(centers), func(k int) bool { return centers[k] >= ci })
+					if at >= len(centers) || centers[at] != ci {
+						t.Fatalf("source %d: center %d (index %d) not in contribution map", s, c, ci)
+					}
+					p := int32(pl.parts.Part(key))
+					at = sort.Search(len(parts), func(k int) bool { return parts[k] >= p })
+					if at >= len(parts) || parts[at] != p {
+						t.Fatalf("source %d: partition %d not registered", s, p)
+					}
+					return true
+				})
+			}
+			if entries == 0 {
+				t.Fatal("no seed entries enumerated — soundness test exercised nothing")
+			}
+		})
+	}
+}
+
+// twoIslands builds a deliberately disconnected instance: a chorded
+// path holding every source, plus a second component at the top of the
+// id space that no source can reach. Centers sampled in the far island
+// have zero possible contributors, so the readiness analysis must
+// release their §8.2.2 builds at t=0 — before any source has even
+// built — which makes CentersReady deterministically positive at every
+// parallelism, 1 CPU included.
+func twoIslands() (*graph.Graph, []int32) {
+	rng := xrand.New(404)
+	b := graph.NewBuilder(96)
+	near := graph.PathWithChords(rng, 64, 10)
+	for e := 0; e < near.NumEdges(); e++ {
+		u, v := near.EdgeEndpoints(e)
+		if err := b.AddEdge(int(u), int(v)); err != nil {
+			panic(err)
+		}
+	}
+	for v := 64; v < 95; v++ {
+		if err := b.AddEdge(v, v+1); err != nil {
+			panic(err)
+		}
+	}
+	return b.MustBuild(), []int32{0, 21, 42, 63}
+}
+
+// TestStreamingReadinessFiresEarly: on the two-islands instance the
+// far island's centers are ready before any source retires, the
+// streaming stats report them, and the results still agree with the
+// barrier schedule (unreachable centers are handled identically in all
+// three schedules).
+func TestStreamingReadinessFiresEarly(t *testing.T) {
+	g, sources := twoIslands()
+	baseline := solveWithSchedule(t, g, sources, 1, "barrier", false)
+	for _, par := range []int{1, 2} {
+		sol := solveWithSchedule(t, g, sources, par, "stream", false)
+		for i := range sol.Results {
+			if d := rp.Diff(baseline.Results[i], sol.Results[i]); d != "" {
+				t.Fatalf("P=%d: source %d differs from barrier: %s", par, sources[i], d)
+			}
+		}
+		if sol.Stats.CentersReady == 0 {
+			t.Errorf("P=%d: CentersReady = 0; far-island centers should be ready at t=0", par)
+		}
+		if sol.Stats.SeedRehashes != 0 {
+			t.Errorf("P=%d: SeedRehashes = %d, presized folds should never cascade", par, sol.Stats.SeedRehashes)
+		}
+	}
+	// The barrier schedules must not report readiness counters at all.
+	if barrier := solveWithSchedule(t, g, sources, 2, "merge-barrier", false); barrier.Stats.CentersReady != 0 || barrier.Stats.CentersOverlapped != 0 {
+		t.Errorf("merge-barrier schedule reported readiness counters (%d ready, %d overlapped)",
+			barrier.Stats.CentersReady, barrier.Stats.CentersOverlapped)
+	}
+}
+
+// cancelingSeed wraps a seedReader and cancels a context on the first
+// Get, recording which centers were probed — a deterministic mid-run
+// cancellation for the §8.2.2 stage.
+type cancelingSeed struct {
+	inner   seedReader
+	cancel  context.CancelFunc
+	calls   int
+	centers map[int32]bool
+}
+
+func (cs *cancelingSeed) Get(key uint64) (int32, bool) {
+	cs.calls++
+	if cs.calls == 1 {
+		cs.cancel()
+	}
+	cs.centers[int32(key>>(vertexBits+edgeBits))] = true
+	return cs.inner.Get(key)
+}
+func (cs *cancelingSeed) Len() int     { return cs.inner.Len() }
+func (cs *cancelingSeed) Bytes() int64 { return cs.inner.Bytes() }
+
+// TestCenterLandmarkCancellation is the §8.2.2 bugfix pin: the stage
+// used to run on a context-blind scheduler, so a cancelled solve still
+// paid all |C| per-center Dijkstras. Now a context cancelled mid-stage
+// stops the fan-out after the items already in flight (at P=1: exactly
+// the one center whose build observed the cancel), and a pre-cancelled
+// context runs nothing.
+func TestCenterLandmarkCancellation(t *testing.T) {
+	g := graph.RandomConnected(xrand.New(24), 40, 90)
+	sh, err := ssrp.NewShared(g, []int32{0, 5}, testParams(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := newCenters(sh, sh.DeriveRNG())
+	var perSrc []*ssrp.PerSource
+	for _, s := range []int32{0, 5} {
+		ps := sh.NewPerSource(s)
+		ps.BuildSmallNear()
+		perSrc = append(perSrc, ps)
+	}
+	seed, _, err := buildSeedTable(context.Background(), sh, perSrc, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cs := &cancelingSeed{inner: seed, cancel: cancel, centers: map[int32]bool{}}
+	if _, err := buildCenterLandmark(ctx, sh, ctr, cs); err != context.Canceled {
+		t.Fatalf("mid-stage cancel: err = %v, want context.Canceled", err)
+	}
+	if cs.calls == 0 {
+		t.Fatal("canceling seed reader was never consulted — instance enumerates no covered edges")
+	}
+	if len(cs.centers) != 1 {
+		t.Fatalf("cancelled §8.2.2 stage probed %d centers at P=1, want exactly the in-flight one", len(cs.centers))
+	}
+
+	dead, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := buildCenterLandmark(dead, sh, ctr, seed); err != context.Canceled {
+		t.Fatalf("pre-cancelled: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := buildSeedTable(dead, sh, perSrc, ctr); err != context.Canceled {
+		t.Fatalf("pre-cancelled seed build: err = %v, want context.Canceled", err)
+	}
+}

@@ -60,6 +60,21 @@ type Params struct {
 	// the pipelined Θ(P·aux) — which Stats.PeakSeedPathBytes measures.
 	BarrierPipeline bool
 
+	// SeedMergeBarrier keeps the per-source pipelining (build → seed
+	// enumeration flows without a barrier) but retains the stop-the-world
+	// seed-shard merge and the barriered §8.2.2 stage that follow it —
+	// the schedule the pipelined solve shipped with before the
+	// readiness-gated streaming merge. The default (both this and
+	// BarrierPipeline false) streams instead: shard entries scatter into
+	// per-center-partition merge targets as each source retires, frozen
+	// partitions release their centers' §8.2.2 builds while other
+	// sources are still building or merging. Output is bit-identical in
+	// all three schedules (the merge is commutative and idempotent, and
+	// every partition is read only after its freeze); the flag exists for
+	// the E20 comparison and the schedule-equivalence regression tests.
+	// BarrierPipeline=true supersedes this flag.
+	SeedMergeBarrier bool
+
 	// TrackPaths records provenance during the solve — one entry per
 	// answer plus the compact per-source witness snapshots — so
 	// PerSource.ReconstructPath can expand any finite answer into a

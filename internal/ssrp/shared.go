@@ -121,6 +121,13 @@ func BuildAncestries(g *graph.Graph, roots []int32, trees map[int32]*bfs.Tree, p
 // Sigma returns the number of sources σ.
 func (sh *Shared) Sigma() int { return len(sh.Sources) }
 
+// NearEdgeCap exposes the near-edge count bound (the number of path
+// positions within NearLimit of a target). The MSRP readiness analysis
+// uses it to bound how far from its source a §8.2.1 small-path walk can
+// stray: every walk vertex sits within max landmark distance plus this
+// cap (+1 for the prefix endpoint's adjacency hop).
+func (sh *Shared) NearEdgeCap() int { return sh.nearEdgeCap }
+
 // DeriveRNG returns a fresh deterministic generator derived from the
 // instance seed; the MSRP layer uses it to sample its center family
 // independently of the landmark draws. Every call returns a copy of

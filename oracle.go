@@ -145,6 +145,10 @@ type Oracle struct {
 	// guarded by mu (written once per warm, far off the query path).
 	warmStages        StageTimes
 	warmPeakSeedBytes int64
+	// Streaming-overlap counters of that same warm (guarded by mu,
+	// zero under the barrier schedules).
+	warmCentersReady      int64
+	warmCentersOverlapped int64
 
 	// provBytes tracks the retained provenance plane (guarded by mu):
 	// per-entry snapshot/provenance bytes move with LRU inserts,
@@ -178,12 +182,12 @@ type Oracle struct {
 }
 
 // StageTimes is the per-stage latency breakdown of one §8 batch solve
-// (the pipeline Warm runs). The per-source stages (build, seed
-// enumeration, assembly) are wall time summed over sources — the
-// measure that stays comparable when the pipelined schedule overlaps
-// stages — while the seed merge and the §8.2.2 center stage are plain
-// wall time. Serving front-ends use the build-side numbers to inform
-// load shedding with measured latency rather than a static cap.
+// (the pipeline Warm runs). Every stage is wall time summed over its
+// items — sources for build/enumeration/assembly, scatter+fold slices
+// for the seed merge, centers for the §8.2.2 stage — the measure that
+// stays comparable when the streaming schedule overlaps all of them.
+// Serving front-ends use the build-side numbers to inform load
+// shedding with measured latency rather than a static cap.
 type StageTimes struct {
 	// PerSourceBuild covers the §7.1 small-near and §8.1 source–center
 	// builds.
@@ -265,6 +269,16 @@ type OracleStats struct {
 	// pipelined schedule (each source's state is released as soon as
 	// its seed shard is enumerated).
 	WarmPeakSeedPathBytes int64
+	// WarmCentersReady counts the §8.2.2 center solves of the most
+	// recent completed Warm that the streaming schedule released while
+	// at least one source was still building or enumerating — overlap
+	// the seed-merge barrier used to forbid. WarmCentersOverlapped
+	// counts center solves that actually started before every source
+	// finished; it is scheduling-dependent (workers prefer source
+	// stages), so neither counter bounds the other. Both are zero
+	// under the barrier schedules.
+	WarmCentersReady      int64
+	WarmCentersOverlapped int64
 }
 
 // HitRate returns the fraction of cache lookups served without
@@ -304,6 +318,8 @@ func (o *Oracle) Stats() OracleStats {
 	o.mu.Lock()
 	warmStages := o.warmStages
 	warmPeak := o.warmPeakSeedBytes
+	warmReady := o.warmCentersReady
+	warmOverlap := o.warmCentersOverlapped
 	provBytes := o.provBytes
 	provEvictions := o.provenanceEvictions
 	provRebuilds := o.provenanceRebuilds
@@ -329,6 +345,8 @@ func (o *Oracle) Stats() OracleStats {
 		Cancellations:         o.cancellations.Load(),
 		WarmStages:            warmStages,
 		WarmPeakSeedPathBytes: warmPeak,
+		WarmCentersReady:      warmReady,
+		WarmCentersOverlapped: warmOverlap,
 	}
 }
 
@@ -693,6 +711,8 @@ func (o *Oracle) WarmContext(ctx context.Context) error {
 				Assembly:       solveStats.StageAssembly,
 			}
 			o.warmPeakSeedBytes = solveStats.PeakSeedPathBytes
+		o.warmCentersReady = int64(solveStats.CentersReady)
+		o.warmCentersOverlapped = int64(solveStats.CentersOverlapped)
 			switch {
 			case sol.Compact != nil:
 				o.provRawBytes = rawProvBytes
